@@ -1,0 +1,79 @@
+"""Figs. 10(b) and 10(c): latency CDFs at the top load.
+
+Paper numbers at 6K req/s (their 80%-CPU point):
+
+* Fig. 10(b), end-to-end client latency: median 41 -> 24 ms,
+  99th percentile 736 -> 225 ms (>3x better).
+* Fig. 10(c), server-to-server (actor-to-actor call) latency:
+  median 5 -> 3 ms, 99th percentile 297 -> 56 ms.
+
+We run the same A/B at our calibrated 80%-CPU operating point and
+compare both distributions.
+"""
+
+from conftest import halo_result
+
+from repro.bench.reporting import render_table
+
+
+def _pair():
+    baseline = halo_result(load_fraction=1.0, partitioning=False)
+    optimized = halo_result(load_fraction=1.0, partitioning=True)
+    return baseline, optimized
+
+
+def test_fig10b_end_to_end_latency_cdf(benchmark, show):
+    baseline, optimized = benchmark.pedantic(_pair, rounds=1, iterations=1)
+
+    show(render_table(
+        ["metric", "paper base", "paper ActOp", "ours base", "ours ActOp"],
+        [
+            ["median ms", 41.0, 24.0, baseline.median * 1e3, optimized.median * 1e3],
+            ["p95 ms", 450.0, 100.0, baseline.p95 * 1e3, optimized.p95 * 1e3],
+            ["p99 ms", 736.0, 225.0, baseline.p99 * 1e3, optimized.p99 * 1e3],
+        ],
+        title="Fig. 10(b) — end-to-end latency, top load",
+    ))
+    rows = [
+        [f"{v * 1e3:.2f}", f"{q:.2f}"] for v, q in baseline.cdf[:: max(1, len(baseline.cdf) // 10)]
+    ]
+    show(render_table(["baseline latency ms", "CDF"], rows))
+    rows = [
+        [f"{v * 1e3:.2f}", f"{q:.2f}"] for v, q in optimized.cdf[:: max(1, len(optimized.cdf) // 10)]
+    ]
+    show(render_table(["ActOp latency ms", "CDF"], rows))
+
+    benchmark.extra_info.update(
+        base_median_ms=round(baseline.median * 1e3, 2),
+        actop_median_ms=round(optimized.median * 1e3, 2),
+        base_p99_ms=round(baseline.p99 * 1e3, 2),
+        actop_p99_ms=round(optimized.p99 * 1e3, 2),
+    )
+
+    # Who wins, and by roughly what factor (paper: 1.7x median, 3.3x p99).
+    assert optimized.median < 0.75 * baseline.median
+    assert optimized.p99 < 0.70 * baseline.p99
+
+
+def test_fig10c_server_to_server_latency_cdf(benchmark, show):
+    baseline, optimized = benchmark.pedantic(_pair, rounds=1, iterations=1)
+
+    show(render_table(
+        ["metric", "paper base", "paper ActOp", "ours base", "ours ActOp"],
+        [
+            ["median ms", 5.0, 3.0, baseline.call_median * 1e3,
+             optimized.call_median * 1e3],
+            ["p99 ms", 297.0, 56.0, baseline.call_p99 * 1e3,
+             optimized.call_p99 * 1e3],
+        ],
+        title="Fig. 10(c) — actor-to-actor call latency, top load",
+    ))
+    benchmark.extra_info.update(
+        base_call_median_ms=round(baseline.call_median * 1e3, 3),
+        actop_call_median_ms=round(optimized.call_median * 1e3, 3),
+    )
+
+    # Local calls skip serialization and queues: both the bulk of the
+    # distribution and the tail must improve.
+    assert optimized.call_median < 0.8 * baseline.call_median
+    assert optimized.call_p99 < 0.8 * baseline.call_p99

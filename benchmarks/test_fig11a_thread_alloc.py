@@ -1,0 +1,70 @@
+"""Fig. 11(a): optimized thread allocation on the Heartbeat benchmark.
+
+Paper setup: one server, loads 10K / 12.5K / 15K req/s.  Findings:
+
+* latency improvements grow with load — at 15K req/s the 99th percentile
+  improves 68% and the median 58%;
+* the controller allocates 2 client senders at every load, 3 workers at
+  10K/12.5K and 4 workers at 15K — small allocations, far below the
+  default thread-per-stage-per-core.
+"""
+
+from conftest import heartbeat_result
+
+from repro.bench.harness import improvement
+from repro.bench.reporting import render_table
+
+RATES = (10_000.0, 12_500.0, 15_000.0)
+PAPER = {10_000.0: (30.0, 45.0, 40.0), 12_500.0: (45.0, 55.0, 55.0),
+         15_000.0: (58.0, 70.0, 68.0)}
+
+
+def _sweep():
+    return {
+        rate: (heartbeat_result(rate, thread_allocation=False),
+               heartbeat_result(rate, thread_allocation=True))
+        for rate in RATES
+    }
+
+
+def test_fig11a_heartbeat_thread_allocation(benchmark, show):
+    sweep = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    rows = []
+    improvements = {}
+    for rate, (base, opt) in sweep.items():
+        med = improvement(base.median, opt.median)
+        p95 = improvement(base.p95, opt.p95)
+        p99 = improvement(base.p99, opt.p99)
+        improvements[rate] = (med, p95, p99)
+        paper_med, _, paper_p99 = PAPER[rate]
+        rows.append([
+            f"{rate:.0f}", paper_med, med, paper_p99, p99,
+            str(opt.thread_allocation),
+        ])
+    show(render_table(
+        ["req/s", "paper med%", "ours med%", "paper p99%", "ours p99%",
+         "ActOp allocation"],
+        rows,
+        title="Fig. 11(a) — thread-allocation improvement by load",
+        floatfmt=".1f",
+    ))
+    benchmark.extra_info["improvements"] = {
+        f"{k:.0f}": tuple(round(x, 1) for x in v)
+        for k, v in improvements.items()
+    }
+
+    # Shape assertions:
+    # 1. gains grow with load;
+    assert improvements[15_000.0][0] > improvements[10_000.0][0]
+    assert improvements[15_000.0][2] > improvements[10_000.0][2]
+    # 2. at the top load the gains are substantial (paper: 58% / 68%);
+    assert improvements[15_000.0][0] > 35.0
+    assert improvements[15_000.0][2] > 50.0
+    # 3. the chosen allocation is small — total threads at or under the
+    #    core count, vs the default 8 per stage;
+    top_alloc = sweep[15_000.0][1].thread_allocation
+    assert sum(top_alloc.values()) <= 8
+    # 4. and worker threads do not shrink as load grows.
+    workers = [sweep[r][1].thread_allocation["worker"] for r in RATES]
+    assert workers == sorted(workers)

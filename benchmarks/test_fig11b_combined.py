@@ -1,0 +1,87 @@
+"""Fig. 11(b): partitioning and thread allocation combined.
+
+Paper setup: Halo Presence, 100K players, 6K req/s.  Findings:
+
+* partitioning alone is the primary win;
+* adding thread allocation gives a further ~21% median / ~9% p99 cut;
+* in total ActOp improves the median by 55% and the p99 by 75%;
+* the best thread allocation *depends on partitioning*: with random
+  placement the controller picks 5 workers / 2 server senders / 1 client
+  sender; once actors are co-located the I/O stages shed load and it
+  picks 6 workers / 1 server sender / 1 client sender — more application
+  threads, fewer serialization threads.
+"""
+
+from conftest import halo_result
+
+from repro.bench.harness import improvement
+from repro.bench.reporting import render_table
+
+
+def _three_way():
+    baseline = halo_result(load_fraction=1.0, partitioning=False)
+    part_only = halo_result(load_fraction=1.0, partitioning=True)
+    combined = halo_result(load_fraction=1.0, partitioning=True,
+                           thread_allocation=True)
+    threads_only = halo_result(load_fraction=1.0, partitioning=False,
+                               thread_allocation=True)
+    return baseline, part_only, combined, threads_only
+
+
+def test_fig11b_combined_optimizations(benchmark, show):
+    baseline, part_only, combined, threads_only = benchmark.pedantic(
+        _three_way, rounds=1, iterations=1,
+    )
+
+    rows = []
+    for label, res in (("baseline", baseline),
+                       ("threads only", threads_only),
+                       ("partitioning only", part_only),
+                       ("both (ActOp)", combined)):
+        rows.append([
+            label,
+            res.median * 1e3, res.p99 * 1e3,
+            improvement(baseline.median, res.median),
+            improvement(baseline.p99, res.p99),
+            100 * res.cpu_utilization,
+        ])
+    show(render_table(
+        ["configuration", "median ms", "p99 ms", "med improv %",
+         "p99 improv %", "CPU %"],
+        rows,
+        title="Fig. 11(b) — combining both optimizations "
+              "(paper: partitioning primary; both = 55% med / 75% p99)",
+        floatfmt=".1f",
+    ))
+    show("\n  worker/sender allocation under the controller:")
+    show(f"    with random placement: {threads_only.thread_allocation}")
+    show(f"    with partitioning:     {combined.thread_allocation}")
+    benchmark.extra_info.update(
+        combined_median_improv=round(improvement(baseline.median,
+                                                 combined.median), 1),
+        combined_p99_improv=round(improvement(baseline.p99, combined.p99), 1),
+    )
+
+    # Shape assertions:
+    # 1. every optimized configuration beats the baseline;
+    assert part_only.median < baseline.median
+    assert combined.median < baseline.median
+    # 2. partitioning is the primary factor (beats threads-only);
+    assert part_only.median < threads_only.median
+    # 3. combining at least preserves partitioning's latency while
+    #    halving the remaining CPU (deviation note: the paper reports a
+    #    further 21%/9% latency cut on top of partitioning; our
+    #    partitioned cluster is more relieved than theirs — ~20% CPU vs
+    #    their 44% — so the controller's benefit shows up as CPU, not
+    #    latency, at this operating point);
+    assert combined.median <= part_only.median * 1.06
+    assert combined.p99 <= part_only.p99 * 1.06
+    assert combined.cpu_utilization < 0.75 * part_only.cpu_utilization
+    # 4. the controller shifts threads from serialization stages to
+    #    workers once partitioning removes remote traffic.
+    assert (combined.thread_allocation["server_sender"]
+            <= threads_only.thread_allocation["server_sender"])
+    assert (combined.thread_allocation["worker"]
+            >= threads_only.thread_allocation["worker"] - 1)
+    # 5. total improvement is substantial (paper: 55% median, 75% p99).
+    assert improvement(baseline.median, combined.median) > 30.0

@@ -1,0 +1,79 @@
+"""Fig. 5: single-server latency under different thread allocations.
+
+Paper setup: counter app at 15K req/s, sweeping worker and sender threads
+over [2..8]^2 with the receiver pool fixed.  Paper findings:
+
+* the allocation landscape is a valley: too few threads starves stages,
+  too many pays oversubscription — best (2W, 3S) at 9.9 ms vs worst
+  (8W, 6S) at 38.2 ms, a ~4x spread;
+* the Orleans default (8 workers, 8 senders) is among the worst cells.
+
+We sweep the same grid at our calibrated near-saturation rate (22K; see
+test_fig4_breakdown for the operating-point note).  The default full run
+uses a {2,3,4,6,8}^2 subgrid; set ACTOP_FIG5_FULL=1 for all 49 cells.
+"""
+
+import os
+
+from repro.bench.harness import CounterExperiment
+from repro.bench.reporting import render_heatmap
+
+RATE = 22_000.0
+GRID = [2, 3, 4, 5, 6, 7, 8] if os.environ.get("ACTOP_FIG5_FULL") else [2, 3, 4, 6, 8]
+
+PAPER_BEST = (2, 3, 9.9)
+PAPER_WORST = (8, 6, 38.2)
+
+
+def run_cell(workers: int, senders: int) -> float:
+    exp = CounterExperiment(
+        request_rate=RATE,
+        threads={
+            "receiver": 8,
+            "worker": workers,
+            "server_sender": 1,
+            "client_sender": senders,
+        },
+    )
+    result = exp.run(warmup=6.0, duration=12.0)
+    return result.median * 1000  # ms, time-scale normalized
+
+
+def test_fig5_thread_allocation_heatmap(benchmark, show):
+    def sweep():
+        return {
+            (w, s): run_cell(w, s) for w in GRID for s in GRID
+        }
+
+    grid = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    values = [[grid[(w, s)] for s in GRID] for w in GRID]
+    show(render_heatmap(
+        GRID, GRID, values,
+        title=f"Fig. 5 — median latency (ms) at {RATE:.0f} req/s "
+              f"(paper: best {PAPER_BEST[2]} ms at {PAPER_BEST[:2]}, "
+              f"worst {PAPER_WORST[2]} ms at {PAPER_WORST[:2]})",
+        row_title="worker threads", col_title="sender threads",
+        floatfmt=".2f",
+    ))
+
+    best_cell = min(grid, key=grid.get)
+    worst_cell = max(grid, key=grid.get)
+    best, worst = grid[best_cell], grid[worst_cell]
+    default = grid[(8, 8)]
+    show(f"\n  best {best:.2f} ms at {best_cell}; worst {worst:.2f} ms at "
+         f"{worst_cell}; Orleans default (8,8) = {default:.2f} ms")
+    benchmark.extra_info.update(
+        best_cell=str(best_cell), best_ms=round(best, 2),
+        worst_cell=str(worst_cell), worst_ms=round(worst, 2),
+        default_ms=round(default, 2),
+    )
+
+    # Shape assertions from the paper:
+    # 1. allocation matters: a clear spread between best and worst;
+    assert worst > 1.6 * best
+    # 2. the default 8x8 allocation is not the optimum;
+    assert default > 1.1 * best
+    # 3. the optimum is an interior, modest allocation — neither the
+    #    most starved nor the most oversubscribed corner.
+    assert best_cell not in ((GRID[0], GRID[0]), (8, 8))

@@ -1,0 +1,74 @@
+"""Theorem 1: stability of Algorithm 1 on static graphs.
+
+The paper proves (and Fig. 10a empirically shows) that the pairwise
+protocol converges: communication cost decreases monotonically with
+every migration and the system reaches a locally optimal balanced
+partition in finitely many executions.  This bench quantifies it on
+static graphs: cost trajectory, sweeps to quiescence, final balance.
+"""
+
+import random
+
+from repro.core.partitioning.offline import OfflinePartitioner
+from repro.graph.generators import clustered_graph, power_law_graph, random_graph
+from repro.bench.reporting import render_table
+
+GRAPHS = [
+    ("clustered (Halo-shaped)",
+     lambda: clustered_graph(60, 9, intra_weight=10.0,
+                             inter_edges_per_cluster=1,
+                             rng=random.Random(1))),
+    ("power-law", lambda: power_law_graph(500, attach=2,
+                                          rng=random.Random(2))),
+    ("uniform random", lambda: random_graph(500, mean_degree=6.0,
+                                            rng=random.Random(3))),
+]
+SERVERS = 6
+DELTA = 8
+
+
+def run_one(build):
+    graph = build()
+    part = OfflinePartitioner(graph, SERVERS, delta=DELTA, k=48, seed=4)
+    sweeps = 0
+    for sweeps in range(1, 61):
+        moved = 0
+        for p in range(SERVERS):
+            moved += part.run_round(p)
+        if moved == 0:
+            break
+    return graph, part, sweeps
+
+
+def test_thm1_monotone_convergence(benchmark, show):
+    results = benchmark.pedantic(
+        lambda: [(name, *run_one(build)) for name, build in GRAPHS],
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for name, graph, part, sweeps in results:
+        history = part.cost_history
+        rows.append([
+            name, f"{history[0]:.0f}", f"{history[-1]:.0f}",
+            f"{100 * (1 - history[-1] / history[0]):.0f}%",
+            sweeps, part.total_migrations, part.imbalance,
+        ])
+    show(render_table(
+        ["graph", "initial cut", "final cut", "reduction", "sweeps",
+         "migrations", "imbalance"],
+        rows,
+        title=f"Theorem 1 — convergence on static graphs "
+              f"({SERVERS} servers, delta={DELTA})",
+    ))
+
+    for name, graph, part, sweeps in results:
+        history = part.cost_history
+        # monotone non-increasing cost with every migration batch
+        assert all(b <= a + 1e-9 for a, b in zip(history, history[1:])), name
+        # converged within the sweep budget
+        assert sweeps < 60, name
+        # converged state is quiet
+        assert sum(part.run_round(p) for p in range(SERVERS)) == 0, name
+        # cost strictly improved on every graph family
+        assert history[-1] < history[0], name

@@ -1,0 +1,96 @@
+"""Fault tolerance: crash a silo under live traffic and watch recovery.
+
+§2 of the paper: Orleans "automatically handles hardware or software
+failures by re-instantiating the failed actor upon the next call to it."
+This example runs a small cluster of session actors with call timeouts
+enabled, kills one silo mid-run, and reports:
+
+* how many in-flight requests were lost to the crash (timeouts),
+* how quickly traffic recovers (the dead silo's actors re-activate
+  elsewhere on their next call, restoring persisted state),
+* where the displaced actors landed.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from collections import Counter
+
+from repro import Actor, ActorRuntime, CallTimeout, ClusterConfig
+
+
+class Session(Actor):
+    """A user session counting its events; persists on deactivation."""
+
+    COMPUTE = {"record": 60e-6, "snapshot": 30e-6}
+
+    def __init__(self):
+        super().__init__()
+        self.events = 0
+
+    def record(self, payload):
+        self.events += 1
+        return self.events
+
+    def snapshot(self):
+        return self.events
+
+
+def main():
+    runtime = ActorRuntime(ClusterConfig(
+        num_servers=4, seed=11,
+        call_timeout=0.5,              # half-second response timeout
+        idle_collection_age=20.0,      # periodically persists idle actors
+        idle_collection_period=5.0,
+    ))
+    runtime.register_actor("session", Session)
+    sessions = [runtime.ref("session", i) for i in range(200)]
+
+    stats = Counter()
+    request_rng = runtime.rng.stream("demo.targets")
+
+    def on_done(latency, result):
+        stats["timeout" if isinstance(result, CallTimeout) else "ok"] += 1
+
+    def drive():
+        for _ in range(20):
+            target = sessions[request_rng.randrange(len(sessions))]
+            runtime.client_request(target, "record", "evt",
+                                   on_complete=on_done)
+        runtime.sim.schedule(0.05, drive)
+
+    runtime.sim.schedule(0.0, drive)
+
+    victim = 2
+    runtime.sim.schedule(10.0, runtime.fail_silo, victim)
+    print(f"cluster of 4 silos; silo {victim} will crash at t=10s\n")
+    print(f"{'t(s)':>5} {'ok':>7} {'timeouts':>9} {'census':>24}")
+
+    last_ok = last_to = 0
+    for t in range(2, 21, 2):
+        runtime.run(until=float(t))
+        ok, to = stats["ok"] - last_ok, stats["timeout"] - last_to
+        last_ok, last_to = stats["ok"], stats["timeout"]
+        census = runtime.census()
+        marker = "  <- crash" if t == 10 else ""
+        print(f"{t:>5} {ok:>7} {to:>9} {str(census):>24}{marker}")
+
+    displaced = runtime.census()
+    print(f"\nafter the crash: silo {victim} hosts {displaced[victim]} actors; "
+          "its former actors re-activated on the survivors")
+    print(f"requests lost to the crash window: {stats['timeout']} "
+          f"of {stats['ok'] + stats['timeout']} total")
+
+    # Demonstrate state semantics: volatile state since the last persist
+    # is lost; persisted state survives.
+    probe = sessions[0]
+    results = []
+    runtime.client_request(probe, "snapshot",
+                           on_complete=lambda lat, res: results.append(res))
+    runtime.run(until=25.0)
+    print(f"session 0 snapshot after recovery: {results[0]} events "
+          "(persisted via idle collection; increments after the last "
+          "persist died with the silo)")
+
+
+if __name__ == "__main__":
+    main()

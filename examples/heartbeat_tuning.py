@@ -1,0 +1,72 @@
+"""Heartbeat thread-allocation tuning: default vs queue-length vs ActOp.
+
+§5's single-server story, end to end: the same Heartbeat load (the
+paper's 15K req/s point) under three thread-allocation regimes —
+
+* the Orleans default (one thread per stage per core, 32 threads on 8),
+* the queue-length threshold controller the paper argues against, and
+* ActOp's model-based controller (estimate -> solve (*) -> apply).
+
+Run:  python examples/heartbeat_tuning.py     (about a minute)
+"""
+
+from repro.actor.runtime import ActorRuntime, ClusterConfig
+from repro.bench.harness import HEARTBEAT_TIME_SCALE, HeartbeatExperiment
+from repro.bench.reporting import render_table
+from repro.core.threads.controller import QueueLengthController
+from repro.workloads.heartbeat import HeartbeatConfig, HeartbeatWorkload
+
+RATE = 15_000.0
+
+
+def run_with_queue_controller():
+    ts = HEARTBEAT_TIME_SCALE
+    rt = ActorRuntime(ClusterConfig(num_servers=1, seed=3, time_scale=ts))
+    workload = HeartbeatWorkload(
+        rt, HeartbeatConfig(num_monitors=800, request_rate=RATE / ts)
+    )
+    ctrl = QueueLengthController(
+        rt.sim, rt.silos[0].server, period=3.0,
+        high_threshold=100, low_threshold=10,
+    )
+    workload.start()
+    ctrl.start()
+    rt.run(until=25.0)
+    rt.reset_latency_stats()
+    busy0, t0 = rt.cpu_busy_snapshot(), rt.sim.now
+    rt.run(until=60.0)
+    lat = rt.client_latency
+    return {
+        "label": "queue-length controller [34]",
+        "median": lat.median / ts,
+        "p95": lat.p95 / ts,
+        "p99": lat.p99 / ts,
+        "cpu": rt.mean_cpu_utilization(busy0, t0),
+        "alloc": rt.silos[0].server.thread_allocation(),
+    }
+
+
+def main():
+    rows = []
+    for optimize, label in ((False, "Orleans default (8 per stage)"),
+                            (True, "ActOp model-based (§5)")):
+        exp = HeartbeatExperiment(request_rate=RATE, thread_allocation=optimize,
+                                  label=label)
+        r = exp.run()
+        rows.append([label, r.median * 1000, r.p95 * 1000, r.p99 * 1000,
+                     100 * r.cpu_utilization, str(r.thread_allocation)])
+
+    q = run_with_queue_controller()
+    rows.insert(1, [q["label"], q["median"] * 1000, q["p95"] * 1000,
+                    q["p99"] * 1000, 100 * q["cpu"], str(q["alloc"])])
+
+    print(render_table(
+        ["configuration", "median ms", "p95 ms", "p99 ms", "CPU %",
+         "final allocation"],
+        rows,
+        title=f"Heartbeat at {RATE:.0f} req/s on one 8-core server",
+    ))
+
+
+if __name__ == "__main__":
+    main()

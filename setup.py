@@ -1,0 +1,8 @@
+"""Legacy shim so `pip install -e .` works offline (no `wheel` package).
+
+All metadata lives in pyproject.toml; setuptools reads it from there.
+"""
+
+from setuptools import setup
+
+setup()

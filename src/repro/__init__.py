@@ -1,0 +1,81 @@
+"""ActOp reproduction — "Optimizing Distributed Actor Systems for Dynamic
+Interactive Services" (EuroSys 2016).
+
+The package splits into the paper's contribution and its substrates:
+
+* :mod:`repro.core` — ActOp itself: the distributed locality-aware actor
+  partitioning algorithm (§4) and the model-driven SEDA thread-allocation
+  optimizer (§5), plus the integrated :class:`~repro.core.ActOp` facade.
+* :mod:`repro.actor` — an Orleans-like virtual-actor runtime (what the
+  paper prototypes against), running on a discrete-event simulation.
+* :mod:`repro.seda` — SEDA stages, the staged-server chassis, and the
+  standalone pipeline emulator of §5.1.
+* :mod:`repro.sim` — the simulation substrate: event engine, simulated
+  processors with a run queue, network, deterministic RNG streams.
+* :mod:`repro.graph` — communication graphs, Space-Saving edge sampling,
+  generators, and the comparator partitioners (multilevel, Ja-Be-Ja).
+* :mod:`repro.queueing` — M/M/1 / Jackson-network formulas.
+* :mod:`repro.workloads` — Halo Presence, Heartbeat, and the counter app.
+* :mod:`repro.bench` — recorders and harness utilities.
+
+Quickstart::
+
+    from repro import ActorRuntime, ClusterConfig, ActOp, PartitioningConfig
+    runtime = ActorRuntime(ClusterConfig(num_servers=4))
+    # register actors, attach ActOp, drive load, run the simulator ...
+
+See ``examples/quickstart.py`` for a complete runnable walk-through.
+"""
+
+from .actor import (
+    Actor,
+    ActorError,
+    ActorId,
+    ActorRef,
+    ActorRuntime,
+    All,
+    Call,
+    CallTimeout,
+    ClusterConfig,
+    SerializationModel,
+    Sleep,
+    Tell,
+)
+from .core import (
+    ActOp,
+    ModelBasedController,
+    OfflinePartitioner,
+    PartitionAgent,
+    PartitioningConfig,
+    QueueLengthController,
+    ThreadAllocationProblem,
+    ThreadControllerConfig,
+)
+from .sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActOp",
+    "Actor",
+    "ActorError",
+    "ActorId",
+    "ActorRef",
+    "ActorRuntime",
+    "All",
+    "Call",
+    "CallTimeout",
+    "ClusterConfig",
+    "ModelBasedController",
+    "OfflinePartitioner",
+    "PartitionAgent",
+    "PartitioningConfig",
+    "QueueLengthController",
+    "SerializationModel",
+    "Simulator",
+    "Sleep",
+    "Tell",
+    "ThreadAllocationProblem",
+    "ThreadControllerConfig",
+    "__version__",
+]

@@ -1,0 +1,124 @@
+"""Activations: a live actor instance on a specific silo.
+
+An activation owns the actor object, its per-actor work queue (Orleans
+runs at most one thread inside an actor at any instant), its
+communication counters (§4.3: "we keep the relevant counters locally at
+each actor, and periodically update the global graph data-structure"),
+and the deactivation latch used by transparent migration.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from enum import Enum, auto
+from typing import Any, Optional
+
+from .actor import Actor
+from .ids import ActorId
+from .messages import Message
+
+__all__ = ["Activation", "WorkItem", "WorkKind"]
+
+
+class WorkKind(Enum):
+    START = auto()    # begin a new turn for an incoming request
+    RESUME = auto()   # resume a turn suspended at a yield point
+
+
+class WorkItem:
+    """One compute-stage segment waiting its turn inside the actor."""
+
+    __slots__ = ("kind", "message", "continuation", "value", "compute", "wait",
+                 "throw")
+
+    def __init__(
+        self,
+        kind: WorkKind,
+        compute: float,
+        wait: float = 0.0,
+        message: Optional[Message] = None,
+        continuation: Any = None,
+        value: Any = None,
+        throw: bool = False,
+    ):
+        self.kind = kind
+        self.compute = compute
+        self.wait = wait
+        self.message = message          # START: the triggering request
+        self.continuation = continuation  # RESUME: the suspended turn
+        self.value = value              # RESUME: value to send into the generator
+        self.throw = throw              # RESUME: raise value inside instead
+
+
+class Activation:
+    """A live actor on one silo."""
+
+    __slots__ = (
+        "actor_id",
+        "instance",
+        "queue",
+        "segment_running",
+        "open_turns",
+        "pending_calls",
+        "comm_counters",
+        "deactivating",
+        "deactivation_hint",
+        "messages_handled",
+        "last_active",
+    )
+
+    def __init__(self, actor_id: ActorId, instance: Actor):
+        self.actor_id = actor_id
+        self.instance = instance
+        self.queue: deque[WorkItem] = deque()
+        self.segment_running = False
+        self.open_turns = 0          # turns started but not yet completed
+        self.pending_calls = 0       # outstanding Call()s awaiting responses
+        self.comm_counters: dict[ActorId, float] = {}
+        self.deactivating = False
+        self.deactivation_hint: Optional[int] = None
+        self.messages_handled = 0
+        self.last_active = 0.0       # sim time of the last enqueued work
+
+    # ------------------------------------------------------------------
+    @property
+    def reentrant(self) -> bool:
+        return type(self.instance).REENTRANT
+
+    def next_eligible(self) -> Optional[WorkItem]:
+        """Pop the next runnable work item, honoring reentrancy rules.
+
+        RESUME items are always eligible (they belong to already-open
+        turns).  START items are eligible when the actor is reentrant or
+        no turn is open.  FIFO order is preserved among eligible items;
+        a blocked START does not block later RESUMEs.
+        """
+        if not self.queue or self.segment_running:
+            return None
+        if self.reentrant:
+            return self.queue.popleft()
+        for idx, item in enumerate(self.queue):
+            if item.kind is WorkKind.RESUME or self.open_turns == 0:
+                del self.queue[idx]
+                return item
+        return None
+
+    def record_communication(self, peer: ActorId, weight: float = 1.0) -> None:
+        """Bump the local edge counter toward ``peer`` (§4.3)."""
+        self.comm_counters[peer] = self.comm_counters.get(peer, 0.0) + weight
+
+    def drain_counters(self) -> dict[ActorId, float]:
+        """Hand the counters to the per-server graph fold and reset them."""
+        counters = self.comm_counters
+        self.comm_counters = {}
+        return counters
+
+    @property
+    def quiescent(self) -> bool:
+        """Safe to deactivate: nothing queued, running, or awaited."""
+        return (
+            not self.queue
+            and not self.segment_running
+            and self.open_turns == 0
+            and self.pending_calls == 0
+        )

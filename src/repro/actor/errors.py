@@ -1,0 +1,40 @@
+"""Failure-handling primitives.
+
+Orleans promises (§2): "the system automatically handles hardware or
+software failures by re-instantiating the failed actor upon the next
+call to it."  Our runtime mirrors that contract:
+
+* calls carry an optional timeout; a response that never arrives (e.g.
+  its target silo died) resolves the await by *throwing*
+  :class:`CallTimeout` into the suspended turn;
+* application errors raised by an actor method travel back to the caller
+  as an :class:`ActorError` and are re-thrown at the await point;
+* a failed silo loses its volatile actor state; the next call to any of
+  its actors re-activates the actor elsewhere from the last persisted
+  state.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ActorError", "CallTimeout"]
+
+
+class ActorError(Exception):
+    """An error crossing an actor boundary.
+
+    When an actor method raises ``ActorError`` (or a subclass), the error
+    becomes the call's result and is re-raised inside the calling actor's
+    turn at its ``yield`` — or handed to the client's completion hook.
+    Any *other* exception type is considered a bug in the simulation and
+    propagates, crashing the run loudly.
+    """
+
+
+class CallTimeout(ActorError):
+    """The response did not arrive within the configured call timeout."""
+
+    def __init__(self, target, method: str, timeout: float):
+        super().__init__(f"call to {target}.{method} timed out after {timeout}s")
+        self.target = target
+        self.method = method
+        self.timeout = timeout

@@ -1,0 +1,56 @@
+"""Actor identities and references.
+
+Orleans actors ("grains") are addressed by (type, key) and are *virtual*:
+a reference can be created and called without the actor having been
+instantiated anywhere — the runtime activates it on first use and the
+physical location stays hidden from application code (§2).  That location
+transparency is exactly what lets ActOp migrate actors under a running
+application.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, NamedTuple
+
+__all__ = ["ActorId", "ActorRef"]
+
+
+class ActorId(NamedTuple):
+    """Stable logical identity of an actor."""
+
+    actor_type: str
+    key: Hashable
+
+    def __str__(self) -> str:
+        return f"{self.actor_type}/{self.key}"
+
+
+class ActorRef:
+    """A location-transparent handle to an actor.
+
+    Application code only ever holds refs; the runtime resolves them to a
+    hosting server at message-send time.  Refs are cheap value objects and
+    compare by identity of the actor they denote.
+    """
+
+    __slots__ = ("id",)
+
+    def __init__(self, actor_type: str, key: Hashable):
+        self.id = ActorId(actor_type, key)
+
+    @property
+    def actor_type(self) -> str:
+        return self.id.actor_type
+
+    @property
+    def key(self) -> Hashable:
+        return self.id.key
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, ActorRef) and self.id == other.id
+
+    def __hash__(self) -> int:
+        return hash(self.id)
+
+    def __repr__(self) -> str:
+        return f"ActorRef({self.id})"

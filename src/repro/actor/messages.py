@@ -1,0 +1,88 @@
+"""Runtime messages.
+
+Three kinds flow through the cluster (Fig. 1/Fig. 2 of the paper):
+
+* client requests entering from frontends,
+* actor-to-actor calls (the RPCs/LPCs of Fig. 3), and
+* responses heading back to the calling actor or client.
+
+A message's ``size`` drives serialization cost on the remote path; its
+trace timestamps feed the latency recorders.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Any, Optional
+
+from .ids import ActorId
+
+__all__ = ["MessageKind", "Message", "next_call_id"]
+
+_call_ids = itertools.count(1)
+
+
+def next_call_id() -> int:
+    """Globally unique call correlation id."""
+    return next(_call_ids)
+
+
+class MessageKind(Enum):
+    CLIENT_REQUEST = auto()
+    CALL = auto()            # actor-to-actor request (expects a response)
+    ONEWAY = auto()          # actor-to-actor fire-and-forget
+    RESPONSE = auto()        # response to a CALL or CLIENT_REQUEST
+
+
+@dataclass
+class Message:
+    """One message in flight.
+
+    Attributes:
+        kind: message kind.
+        target: destination actor (for responses: the *caller's silo*
+            consumes it, target names the original caller actor, if any).
+        method: method to invoke (requests only).
+        args: positional arguments (passed by simulated deep copy).
+        size: payload bytes, for serialization/copy cost.
+        call_id: correlation id linking a response to its call.
+        sender: calling actor (None for client traffic).
+        reply_to_server: silo that holds the pending-call continuation
+            (requests) / is the response's destination (responses).
+        result: return value carried by a response.
+        created_at: simulated time the message was created.
+        client_tag: opaque cookie for client-request latency accounting.
+    """
+
+    kind: MessageKind
+    target: Optional[ActorId]
+    method: str = ""
+    args: tuple = ()
+    size: int = 256
+    call_id: int = 0
+    sender: Optional[ActorId] = None
+    reply_to_server: Optional[int] = None
+    result: Any = None
+    created_at: float = 0.0
+    client_tag: Any = None
+    response_size: int = 128
+
+    @property
+    def expects_reply(self) -> bool:
+        return self.kind in (MessageKind.CALL, MessageKind.CLIENT_REQUEST)
+
+    def make_response(self, result: Any, size: int, server_id: int) -> "Message":
+        """Build the response message for this request."""
+        return Message(
+            kind=MessageKind.RESPONSE,
+            target=self.sender,
+            size=size,
+            call_id=self.call_id,
+            sender=self.target,
+            reply_to_server=self.reply_to_server,
+            result=result,
+            created_at=self.created_at,
+            client_tag=self.client_tag,
+        )

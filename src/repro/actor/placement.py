@@ -1,0 +1,85 @@
+"""Placement policies for newly activated actors (§2–3).
+
+Orleans ships several static policies; the paper evaluates against the
+default **random** policy ("Orleans is by default configured with a
+simple random placement policy") and discusses why **prefer-local** and
+hash-based placement are insufficient.  ActOp does not replace the
+placement policy — new actors still land by policy; the partitioning
+protocol then migrates them to where they belong.  Migration *hints*
+(location-cache entries left by §4.3's opportunistic mechanism) take
+precedence over the policy and are handled by the silo, not here.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from ..sim.rng import RngRegistry
+from .ids import ActorId
+
+__all__ = [
+    "PlacementPolicy",
+    "RandomPlacement",
+    "HashPlacement",
+    "PreferLocalPlacement",
+    "RoundRobinPlacement",
+]
+
+
+class PlacementPolicy(Protocol):
+    """Chooses a server for a brand-new activation."""
+
+    def choose(self, actor_id: ActorId, calling_server: int, num_servers: int) -> int:
+        """Return the server index to activate ``actor_id`` on."""
+        ...
+
+
+class RandomPlacement:
+    """Uniform random — Orleans' default; balances load, ignores locality."""
+
+    def __init__(self, rng: RngRegistry):
+        self._rng = rng.stream("placement.random")
+
+    def choose(self, actor_id: ActorId, calling_server: int, num_servers: int) -> int:
+        return self._rng.randrange(num_servers)
+
+
+class HashPlacement:
+    """Consistent-hash style: a deterministic function of the identity.
+
+    The key-value-store strategy §1 contrasts with: balanced, stable,
+    and completely locality-blind.
+    """
+
+    def choose(self, actor_id: ActorId, calling_server: int, num_servers: int) -> int:
+        # Stable across processes (no PYTHONHASHSEED dependence) for ints
+        # and strings, which is all the workloads use.
+        key = f"{actor_id.actor_type}:{actor_id.key}"
+        h = 0
+        for ch in key:
+            h = (h * 131 + ord(ch)) % (2**32)
+        return h % num_servers
+
+
+class PreferLocalPlacement:
+    """Activate where first called (§3's "local placement policy").
+
+    Wins when the callee is exclusively owned by its first caller; loses
+    when later, more frequent callers live elsewhere — and can badly skew
+    load, which is why Orleans does not default to it.
+    """
+
+    def choose(self, actor_id: ActorId, calling_server: int, num_servers: int) -> int:
+        return calling_server
+
+
+class RoundRobinPlacement:
+    """Deterministic rotation; occasionally useful in tests."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, actor_id: ActorId, calling_server: int, num_servers: int) -> int:
+        chosen = self._next % num_servers
+        self._next += 1
+        return chosen

@@ -1,0 +1,300 @@
+"""The cluster runtime: silos, directory, placement, client traffic.
+
+This is the public entry point of the actor substrate — the piece that
+plays Orleans' role in the reproduction.  It owns the simulator, the
+network, the placement directory, per-silo SEDA servers, and the
+persisted actor state store, and it exposes the measurement points the
+paper reports: end-to-end client latency, actor-to-actor call latency,
+remote/local message counters, migrations, and per-server CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Optional, Type
+
+from ..bench.metrics import LatencyRecorder
+from ..sim.engine import Simulator
+from ..sim.network import Network
+from ..sim.rng import RngRegistry
+from .actor import Actor
+from .directory import Directory
+from .ids import ActorId, ActorRef
+from .messages import Message, MessageKind, next_call_id
+from .placement import PlacementPolicy, RandomPlacement
+from .serialization import SerializationModel
+from .server import Silo
+
+__all__ = ["ClusterConfig", "ActorRuntime"]
+
+
+@dataclass
+class ClusterConfig:
+    """Cluster-wide knobs (defaults mirror the paper's testbed).
+
+    Attributes:
+        num_servers: silo count (the paper's cluster has 10).
+        processors: cores per silo (8).
+        switch_factor: per-excess-thread compute inflation.
+        dispatch_overhead: fixed per-burst context-switch cost.
+        initial_threads: threads per stage at boot; ``None`` uses the
+            Orleans default of one thread per stage per core (§3).
+        serialization: RPC/LPC cost model.
+        network_latency / network_jitter: wire model.
+        resume_compute: CPU cost of resuming a suspended turn.
+        client_response_size: bytes of a client-bound response.
+        location_cache_capacity: per-silo hint cache size.
+        max_receiver_queue: client-request admission bound (None = no
+            rejection; the throughput bench sets it).
+        time_scale: multiply every simulated duration (costs, network,
+            waits) by this factor; drive the workload at rate/time_scale
+            and the system sits at the *same* utilization with the same
+            latency shape while simulating time_scale-fold fewer events.
+            Benches report latencies divided back by time_scale.
+        seed: root seed for every RNG substream.
+    """
+
+    num_servers: int = 10
+    processors: int = 8
+    switch_factor: float = 0.05
+    dispatch_overhead: float = 2e-6
+    initial_threads: Optional[int] = None
+    serialization: SerializationModel = field(default_factory=SerializationModel)
+    network_latency: float = 0.0005
+    network_jitter: float = 0.1
+    resume_compute: float = 5e-6
+    client_response_size: int = 256
+    location_cache_capacity: int = 100_000
+    max_receiver_queue: Optional[int] = None
+    time_scale: float = 1.0
+    idle_collection_age: Optional[float] = None
+    idle_collection_period: float = 30.0
+    call_timeout: Optional[float] = None
+    seed: int = 0
+
+
+class ActorRuntime:
+    """An Orleans-like cluster over the discrete-event simulator."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None,
+                 sim: Optional[Simulator] = None):
+        self.config = config or ClusterConfig()
+        if self.config.num_servers < 1:
+            raise ValueError("need at least one server")
+        self.sim = sim or Simulator()
+        self.rng = RngRegistry(self.config.seed)
+        ts = self.config.time_scale
+        if ts <= 0:
+            raise ValueError("time_scale must be positive")
+        self.time_scale = ts
+        self.serialization = self.config.serialization.scaled(ts)
+        self.resume_compute = self.config.resume_compute * ts
+        self.call_timeout = (
+            self.config.call_timeout * ts
+            if self.config.call_timeout is not None else None
+        )
+        self.network = Network(
+            self.sim,
+            self.rng,
+            base_latency=self.config.network_latency * ts,
+            jitter=self.config.network_jitter,
+        )
+        self.directory = Directory(self.config.num_servers)
+        self.placement: PlacementPolicy = RandomPlacement(self.rng)
+        self.actor_types: dict[str, Type[Actor]] = {}
+        self.storage: dict[ActorId, dict[str, Any]] = {}
+        self.silos = [Silo(self, i) for i in range(self.config.num_servers)]
+        self._gateway_rng = self.rng.stream("client.gateway")
+        if self.config.idle_collection_age is not None:
+            self.sim.schedule(self.config.idle_collection_period,
+                              self._idle_collection_tick)
+
+        # Cluster-wide measurements.
+        self.client_latency = LatencyRecorder(reservoir=200_000)
+        self.call_latency = LatencyRecorder(reservoir=200_000)
+        self.msgs_local = 0
+        self.msgs_remote = 0
+        self.migrations_total = 0
+        self.rejected_requests = 0
+        self.requests_completed = 0
+        self.requests_timed_out = 0
+        self._client_hooks: dict[int, Callable[[float, Any], None]] = {}
+        self._client_timers: dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    @property
+    def num_servers(self) -> int:
+        return self.config.num_servers
+
+    def register_actor(self, actor_type: str, cls: Type[Actor]) -> None:
+        """Register an application actor class under a type name."""
+        if not issubclass(cls, Actor):
+            raise TypeError(f"{cls!r} is not an Actor subclass")
+        if actor_type in self.actor_types:
+            raise ValueError(f"actor type {actor_type!r} already registered")
+        self.actor_types[actor_type] = cls
+
+    def set_placement(self, policy: PlacementPolicy) -> None:
+        self.placement = policy
+
+    def ref(self, actor_type: str, key: Hashable) -> ActorRef:
+        if actor_type not in self.actor_types:
+            raise KeyError(f"unknown actor type {actor_type!r}")
+        return ActorRef(actor_type, key)
+
+    # ------------------------------------------------------------------
+    # Activation management (silos call back into these)
+    # ------------------------------------------------------------------
+    def activate(self, actor_id: ActorId, server: int) -> None:
+        self.directory.register(actor_id, server)
+        self.silos[server].host(actor_id)
+
+    def locate(self, actor_id: ActorId) -> Optional[int]:
+        return self.directory.lookup(actor_id)
+
+    def _idle_collection_tick(self) -> None:
+        """Orleans-style activation GC: silos drop long-idle actors."""
+        age = self.config.idle_collection_age
+        assert age is not None
+        for silo in self.silos:
+            silo.collect_idle(age)
+        self.sim.schedule(self.config.idle_collection_period,
+                          self._idle_collection_tick)
+
+    def deactivate(self, actor_id: ActorId) -> bool:
+        """Idle-collect an actor wherever it lives (no placement hint)."""
+        location = self.directory.lookup(actor_id)
+        if location is None:
+            return False
+        return self.silos[location].deactivate(actor_id)
+
+    # ------------------------------------------------------------------
+    # Failure injection (§2's fault-tolerance contract)
+    # ------------------------------------------------------------------
+    def fail_silo(self, server: int) -> None:
+        """Crash one silo (volatile state lost; directory entries dropped)."""
+        self.silos[server].fail()
+
+    def restart_silo(self, server: int) -> None:
+        self.silos[server].restart()
+
+    def pick_live_server(self, preferred: Optional[int] = None) -> int:
+        """A live server, preferring the caller's own (used when placement
+        lands on a dead silo)."""
+        if preferred is not None and not self.silos[preferred].dead:
+            return preferred
+        live = [s.server_id for s in self.silos if not s.dead]
+        if not live:
+            raise RuntimeError("every silo in the cluster has failed")
+        return live[self._gateway_rng.randrange(len(live))]
+
+    def census(self) -> dict[int, int]:
+        return self.directory.census()
+
+    # ------------------------------------------------------------------
+    # Client traffic
+    # ------------------------------------------------------------------
+    def client_request(
+        self,
+        ref: ActorRef,
+        method: str,
+        *args: Any,
+        size: int = 256,
+        response_size: int = 256,
+        on_complete: Optional[Callable[[float, Any], None]] = None,
+    ) -> None:
+        """Issue one external client request toward an actor.
+
+        Latency (request creation to response delivery at the client) is
+        recorded in :attr:`client_latency`; ``on_complete(latency,
+        result)`` fires as well if given.
+        """
+        gateway = self.silos[self.pick_live_server(
+            self._gateway_rng.randrange(self.num_servers))]
+        destination = gateway._resolve_or_place(ref.id)
+        call_id = next_call_id()
+        message = Message(
+            kind=MessageKind.CLIENT_REQUEST,
+            target=ref.id,
+            method=method,
+            args=args,
+            size=size,
+            call_id=call_id,
+            created_at=self.sim.now,
+            response_size=response_size,
+        )
+        if on_complete is not None:
+            self._client_hooks[call_id] = on_complete
+        if self.call_timeout is not None:
+            self._client_timers[call_id] = self.sim.schedule(
+                self.call_timeout, self._client_request_timed_out,
+                call_id, ref.id, method,
+            )
+        self.network.deliver(size, self.silos[destination].deliver, message)
+
+    def complete_client_request(self, response: Message) -> None:
+        """Called when a client response leaves the cluster (post-network)."""
+        timer = self._client_timers.pop(response.call_id, None)
+        if timer is not None:
+            timer.cancel()
+        latency = self.sim.now - response.created_at
+        self.client_latency.record(latency)
+        self.requests_completed += 1
+        hook = self._client_hooks.pop(response.call_id, None)
+        if hook is not None:
+            hook(latency, response.result)
+
+    def _client_request_timed_out(self, call_id: int, target, method: str) -> None:
+        from .errors import CallTimeout
+
+        self._client_timers.pop(call_id, None)
+        self.requests_timed_out += 1
+        hook = self._client_hooks.pop(call_id, None)
+        if hook is not None:
+            hook(
+                self.call_timeout or 0.0,
+                CallTimeout(target, method,
+                            (self.call_timeout or 0.0) / self.time_scale),
+            )
+
+    # ------------------------------------------------------------------
+    # Measurement hooks
+    # ------------------------------------------------------------------
+    def record_call_latency(self, latency: float) -> None:
+        self.call_latency.record(latency)
+
+    def reset_latency_stats(self) -> None:
+        """Discard warmup samples (benches call this at steady state)."""
+        self.client_latency = LatencyRecorder(reservoir=200_000)
+        self.call_latency = LatencyRecorder(reservoir=200_000)
+
+    def record_migration(self) -> None:
+        self.migrations_total += 1
+
+    def remote_message_fraction(self) -> float:
+        """Lifetime share of actor-to-actor messages that crossed silos."""
+        total = self.msgs_local + self.msgs_remote
+        return self.msgs_remote / total if total else 0.0
+
+    def mean_cpu_utilization(self, busy_before: list[float], time_before: float) -> float:
+        """Cluster-mean CPU utilization since a snapshot (see silo pools)."""
+        utils = [
+            silo.server.cpu.utilization(before, time_before)
+            for silo, before in zip(self.silos, busy_before)
+        ]
+        return sum(utils) / len(utils)
+
+    def cpu_busy_snapshot(self) -> list[float]:
+        return [silo.server.cpu.busy_time for silo in self.silos]
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ActorRuntime(servers={self.num_servers}, "
+            f"actors={len(self.directory)}, t={self.sim.now:.3f})"
+        )

@@ -1,0 +1,319 @@
+"""Calibrated experiment harness shared by the benchmark suite.
+
+Every table/figure bench builds on the same three experiment drivers so
+that baselines and optimized runs differ only in the optimization under
+test.  The calibration constants here pin the *operating points* of the
+paper: the Halo cluster baseline sits at ~80% CPU at the top load (the
+paper's 6K req/s point), and the single-server workloads saturate at the
+paper's 15K req/s point under the default one-thread-per-stage-per-core
+allocation.
+
+Scaling: the paper's absolute rates are impractical for an in-process
+DES, so experiments use the time-scaling trick (see
+``ClusterConfig.time_scale``): all durations stretched by ``time_scale``,
+rates divided by it — utilization and latency *shape* invariant.
+Reported latencies are normalized back.  Every result carries its
+parameters for the EXPERIMENTS.md record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..actor.runtime import ActorRuntime, ClusterConfig
+from ..core.actop import ActOp, ThreadControllerConfig
+from ..core.partitioning.coordinator import PartitioningConfig
+from ..workloads.counter import CounterConfig, CounterWorkload
+from ..workloads.halo import HaloConfig, HaloWorkload
+from ..workloads.heartbeat import HeartbeatConfig, HeartbeatWorkload
+from .sampler import ClusterSampler
+
+__all__ = [
+    "ExperimentResult",
+    "HaloExperiment",
+    "HeartbeatExperiment",
+    "CounterExperiment",
+    "HALO_RATE_FULL",
+    "halo_partitioning_config",
+    "halo_thread_config",
+    "heartbeat_thread_config",
+]
+
+# ----------------------------------------------------------------------
+# Calibration constants (measured: the Halo baseline costs ~5.05 ms of
+# cluster CPU per client request on 10x8 cores under random placement,
+# so ~12.7K req/s is the 80%-utilization point the paper calls "6K").
+# ----------------------------------------------------------------------
+HALO_RATE_FULL = 12_668.0      # paper-equivalent of the 6K req/s point
+HALO_TIME_SCALE = 40.0
+HEARTBEAT_TIME_SCALE = 5.0
+COUNTER_TIME_SCALE = 5.0
+
+
+def halo_partitioning_config() -> PartitioningConfig:
+    """The calibrated online-protocol settings for the scaled Halo runs."""
+    return PartitioningConfig(
+        round_period=1.0,
+        stats_period=0.5,
+        cooldown=0.5,
+        delta=24,
+        candidate_fraction=0.4,
+        candidate_max=96,
+        decay=0.85,
+        max_peers_tried=6,
+        warmup=15.0,
+    )
+
+
+def halo_thread_config(time_scale: float = HALO_TIME_SCALE) -> ThreadControllerConfig:
+    return ThreadControllerConfig(eta=1e-4 * time_scale, period=5.0)
+
+
+def heartbeat_thread_config(time_scale: float = HEARTBEAT_TIME_SCALE) -> ThreadControllerConfig:
+    return ThreadControllerConfig(eta=1e-4 * time_scale, period=4.0)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a bench reports for one configuration.
+
+    Latencies are normalized back to paper-equivalent seconds (i.e.
+    divided by the run's time_scale).
+    """
+
+    label: str
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    requests: int
+    cpu_utilization: float
+    remote_fraction: float
+    migrations: int
+    rejected: int
+    thread_allocation: dict[str, int] = field(default_factory=dict)
+    cdf: list[tuple[float, float]] = field(default_factory=list)
+    call_median: float = 0.0
+    call_p99: float = 0.0
+    call_cdf: list[tuple[float, float]] = field(default_factory=list)
+    sampler: Optional[ClusterSampler] = None
+
+    def summary_ms(self) -> dict[str, float]:
+        return {
+            "mean_ms": self.mean * 1000,
+            "median_ms": self.median * 1000,
+            "p95_ms": self.p95 * 1000,
+            "p99_ms": self.p99 * 1000,
+        }
+
+
+def improvement(baseline: float, optimized: float) -> float:
+    """The paper's improvement metric: 100% x (1 - optimized/baseline)."""
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * (1.0 - optimized / baseline)
+
+
+class _ExperimentBase:
+    """Warmup / measure / collect shared across the three drivers."""
+
+    def __init__(self, runtime: ActorRuntime, time_scale: float, label: str):
+        self.runtime = runtime
+        self.time_scale = time_scale
+        self.label = label
+        self.sampler: Optional[ClusterSampler] = None
+
+    def _measure(
+        self,
+        warmup: float,
+        duration: float,
+        sample_period: Optional[float] = None,
+        cdf_points: int = 0,
+    ) -> ExperimentResult:
+        rt = self.runtime
+        if sample_period is not None:
+            self.sampler = ClusterSampler(rt, period=sample_period)
+            self.sampler.start()
+        rt.run(until=warmup)
+        rt.reset_latency_stats()
+        local0, remote0 = rt.msgs_local, rt.msgs_remote
+        migrations0 = rt.migrations_total
+        rejected0 = rt.rejected_requests
+        busy0 = rt.cpu_busy_snapshot()
+        t0 = rt.sim.now
+        rt.run(until=warmup + duration)
+
+        ts = self.time_scale
+        lat = rt.client_latency
+        call = rt.call_latency
+        d_local = rt.msgs_local - local0
+        d_remote = rt.msgs_remote - remote0
+        total_msgs = d_local + d_remote
+        has_calls = call.count > 0
+        return ExperimentResult(
+            label=self.label,
+            mean=lat.mean / ts,
+            median=(lat.median if lat.count else 0.0) / ts,
+            p95=(lat.p95 if lat.count else 0.0) / ts,
+            p99=(lat.p99 if lat.count else 0.0) / ts,
+            requests=lat.count,
+            cpu_utilization=rt.mean_cpu_utilization(busy0, t0),
+            remote_fraction=d_remote / total_msgs if total_msgs else 0.0,
+            migrations=rt.migrations_total - migrations0,
+            rejected=rt.rejected_requests - rejected0,
+            thread_allocation=rt.silos[0].server.thread_allocation(),
+            cdf=[(v / ts, q) for v, q in lat.cdf(cdf_points)] if cdf_points else [],
+            call_median=(call.median if has_calls else 0.0) / ts,
+            call_p99=(call.p99 if has_calls else 0.0) / ts,
+            call_cdf=[(v / ts, q) for v, q in call.cdf(cdf_points)]
+            if cdf_points and has_calls
+            else [],
+            sampler=self.sampler,
+        )
+
+
+class HaloExperiment(_ExperimentBase):
+    """One Halo Presence run on the calibrated 10-server cluster.
+
+    Args:
+        load_fraction: share of the 80%-utilization request rate (the
+            paper's 2K/4K/6K loads map to 1/3, 2/3, 1.0).
+        players: concurrent player target (paper: 100K; scaled default 2K).
+        partitioning: enable the §4 optimizer.
+        thread_allocation: enable the §5 optimizer.
+        num_servers / seed / time_scale: infrastructure knobs.
+    """
+
+    def __init__(
+        self,
+        load_fraction: float = 1.0,
+        players: int = 2_000,
+        partitioning: bool = False,
+        thread_allocation: bool = False,
+        num_servers: int = 10,
+        seed: int = 1,
+        time_scale: float = HALO_TIME_SCALE,
+        max_receiver_queue: Optional[int] = None,
+        label: Optional[str] = None,
+    ):
+        config = ClusterConfig(
+            num_servers=num_servers,
+            seed=seed,
+            time_scale=time_scale,
+            max_receiver_queue=max_receiver_queue,
+        )
+        runtime = ActorRuntime(config)
+        super().__init__(
+            runtime,
+            time_scale,
+            label
+            or f"halo(load={load_fraction:.2f}, part={partitioning}, thr={thread_allocation})",
+        )
+        # Request rate scales with the population so per-actor load is
+        # invariant (the paper's 10K/100K/1M sweep holds rate at 4K).
+        rate = HALO_RATE_FULL * load_fraction * (players / 2_000.0)
+        self.workload = HaloWorkload(
+            runtime,
+            HaloConfig(
+                target_players=players,
+                pool_target=max(16, players // 50),
+                request_rate=rate / time_scale,
+                game_duration=(120.0, 180.0),
+            ),
+        )
+        self.actop: Optional[ActOp] = None
+        if partitioning or thread_allocation:
+            self.actop = ActOp(
+                runtime,
+                partitioning=halo_partitioning_config() if partitioning else None,
+                thread_allocation=halo_thread_config(time_scale)
+                if thread_allocation
+                else None,
+            )
+
+    def run(
+        self,
+        warmup: float = 90.0,
+        duration: float = 90.0,
+        sample_period: Optional[float] = None,
+        cdf_points: int = 0,
+    ) -> ExperimentResult:
+        self.workload.start()
+        if self.actop is not None:
+            self.actop.start()
+        return self._measure(warmup, duration, sample_period, cdf_points)
+
+
+class HeartbeatExperiment(_ExperimentBase):
+    """One single-server Heartbeat run (§6.2 / Fig. 11a)."""
+
+    def __init__(
+        self,
+        request_rate: float = 15_000.0,
+        monitors: int = 800,
+        thread_allocation: bool = False,
+        io_wait: float = 0.0,
+        seed: int = 3,
+        time_scale: float = HEARTBEAT_TIME_SCALE,
+        label: Optional[str] = None,
+    ):
+        runtime = ActorRuntime(
+            ClusterConfig(num_servers=1, seed=seed, time_scale=time_scale)
+        )
+        super().__init__(
+            runtime,
+            time_scale,
+            label or f"heartbeat(rate={request_rate:.0f}, thr={thread_allocation})",
+        )
+        self.workload = HeartbeatWorkload(
+            runtime,
+            HeartbeatConfig(
+                num_monitors=monitors,
+                request_rate=request_rate / time_scale,
+                io_wait=io_wait,
+            ),
+        )
+        self.actop: Optional[ActOp] = None
+        if thread_allocation:
+            self.actop = ActOp(
+                runtime, thread_allocation=heartbeat_thread_config(time_scale)
+            )
+
+    def run(self, warmup: float = 25.0, duration: float = 35.0,
+            cdf_points: int = 0) -> ExperimentResult:
+        self.workload.start()
+        if self.actop is not None:
+            self.actop.start()
+        return self._measure(warmup, duration, cdf_points=cdf_points)
+
+
+class CounterExperiment(_ExperimentBase):
+    """One single-server counter run (§3 / Figs. 4-5)."""
+
+    def __init__(
+        self,
+        request_rate: float = 15_000.0,
+        actors: int = 8_000,
+        threads: Optional[dict[str, int]] = None,
+        seed: int = 7,
+        time_scale: float = COUNTER_TIME_SCALE,
+        label: Optional[str] = None,
+    ):
+        runtime = ActorRuntime(
+            ClusterConfig(num_servers=1, seed=seed, time_scale=time_scale)
+        )
+        super().__init__(
+            runtime, time_scale, label or f"counter(rate={request_rate:.0f})"
+        )
+        self.workload = CounterWorkload(
+            runtime,
+            CounterConfig(num_actors=actors, request_rate=request_rate / time_scale),
+        )
+        if threads:
+            runtime.silos[0].server.apply_allocation(threads)
+
+    def run(self, warmup: float = 10.0, duration: float = 20.0,
+            cdf_points: int = 0) -> ExperimentResult:
+        self.workload.start()
+        return self._measure(warmup, duration, cdf_points=cdf_points)

@@ -1,0 +1,154 @@
+"""Measurement utilities: latency recorders, time series, counters.
+
+The paper reports medians, 95th/99th percentiles and CDFs of end-to-end
+latency (Figs. 10–11), plus time series of remote-message share and actor
+movements (Fig. 10a).  These helpers collect exactly those, with an
+optional reservoir cap so multi-minute simulations stay in memory.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["LatencyRecorder", "TimeSeries", "percentile"]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """q-th percentile (q in [0, 100]) by linear interpolation.
+
+    Mirrors numpy's default so tests can cross-check, without forcing the
+    hot path through numpy conversions.
+    """
+    if not samples:
+        raise ValueError("no samples")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile out of range: {q}")
+    data = sorted(samples)
+    if len(data) == 1:
+        return data[0]
+    rank = (q / 100.0) * (len(data) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return data[lo]
+    frac = rank - lo
+    return data[lo] * (1 - frac) + data[hi] * frac
+
+
+class LatencyRecorder:
+    """Collects latency samples; answers mean / percentile / CDF queries.
+
+    Args:
+        reservoir: if set, keep at most this many samples via uniform
+            reservoir sampling (Vitter's algorithm R).  Mean and count stay
+            exact; percentiles become estimates — fine at the reservoir
+            sizes used by the benches (>= 50k).
+        seed: reservoir RNG seed, for reproducibility.
+    """
+
+    def __init__(self, reservoir: Optional[int] = None, seed: int = 0):
+        self._samples: list[float] = []
+        self._reservoir = reservoir
+        self._rng = random.Random(seed)
+        self.count = 0
+        self.total = 0.0
+        self.max_value = 0.0
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"negative latency {value}")
+        self.count += 1
+        self.total += value
+        if value > self.max_value:
+            self.max_value = value
+        if self._reservoir is None or len(self._samples) < self._reservoir:
+            self._samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self._reservoir:
+                self._samples[slot] = value
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        return percentile(self._samples, q)
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def cdf(self, points: int = 100) -> list[tuple[float, float]]:
+        """Return (latency, cumulative fraction) pairs."""
+        if not self._samples:
+            return []
+        data = sorted(self._samples)
+        n = len(data)
+        step = max(1, n // points)
+        out = [(data[i], (i + 1) / n) for i in range(0, n, step)]
+        if out[-1][0] != data[-1]:
+            out.append((data[-1], 1.0))
+        return out
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        """Fold another recorder's samples into this one."""
+        for value in other._samples:
+            self.record(value)
+
+    def summary(self) -> dict[str, float]:
+        """The row shape the paper's tables use."""
+        if not self.count:
+            return {"count": 0, "mean": 0.0, "median": 0.0, "p95": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "median": self.median,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+class TimeSeries:
+    """Ordered (time, value) samples, e.g. remote-message share over time."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError("time series must be recorded in order")
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def last(self) -> float:
+        if not self.values:
+            raise ValueError("empty time series")
+        return self.values[-1]
+
+    def tail_mean(self, fraction: float = 0.5) -> float:
+        """Mean of the last ``fraction`` of samples (steady-state value)."""
+        if not self.values:
+            raise ValueError("empty time series")
+        start = int(len(self.values) * (1 - fraction))
+        tail = self.values[start:]
+        return sum(tail) / len(tail)
+
+    def items(self) -> Iterable[tuple[float, float]]:
+        return zip(self.times, self.values)

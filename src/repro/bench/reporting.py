@@ -1,0 +1,74 @@
+"""Text rendering of paper-vs-measured tables for the bench output.
+
+Each bench prints the series the paper's figure shows next to what the
+reproduction measured, in a fixed-width table that survives pytest's
+captured output and gets pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = ["render_table", "render_heatmap", "banner"]
+
+
+def banner(title: str) -> str:
+    line = "=" * max(64, len(title) + 4)
+    return f"\n{line}\n  {title}\n{line}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    floatfmt: str = ".2f",
+) -> str:
+    """Render a fixed-width table."""
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return format(value, floatfmt)
+        return str(value)
+
+    text_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(banner(title))
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_heatmap(
+    row_labels: Sequence[object],
+    col_labels: Sequence[object],
+    values: Sequence[Sequence[float]],
+    title: Optional[str] = None,
+    row_title: str = "",
+    col_title: str = "",
+    floatfmt: str = ".1f",
+) -> str:
+    """Render a Fig.-5-style matrix of numbers."""
+    lines = []
+    if title:
+        lines.append(banner(title))
+    if col_title:
+        lines.append(f"(rows: {row_title}, cols: {col_title})")
+    width = max(
+        6,
+        *(len(format(v, floatfmt)) for row in values for v in row),
+        *(len(str(c)) for c in col_labels),
+    )
+    head = " " * 8 + " ".join(str(c).rjust(width) for c in col_labels)
+    lines.append(head)
+    for label, row in zip(row_labels, values):
+        cells = " ".join(format(v, floatfmt).rjust(width) for v in row)
+        lines.append(f"{str(label):>7} {cells}")
+    return "\n".join(lines)

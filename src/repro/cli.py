@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands expose the main experiment drivers without writing any
+code:
+
+* ``halo``       — the cluster workload A/B (random vs ActOp), §6.1-style;
+* ``heartbeat``  — the single-server thread-allocation experiment, §6.2;
+* ``partition``  — offline partitioner comparison on a synthetic graph.
+
+Each prints a result table to stdout and exits 0; they are smoke-level
+entry points (the full reproduction lives in ``benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from typing import Optional, Sequence
+
+from . import __version__
+from .bench.harness import HaloExperiment, HeartbeatExperiment, improvement
+from .bench.reporting import render_table
+from .core.partitioning.offline import OfflinePartitioner
+from .graph.generators import clustered_graph, power_law_graph, random_graph
+from .graph.jabeja import jabeja_partition
+from .graph.multilevel import multilevel_partition
+from .graph.quality import cut_cost, max_imbalance
+from .graph.streaming import streaming_partition
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ActOp (EuroSys 2016) reproduction — experiment CLI",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    halo = sub.add_parser("halo", help="Halo Presence cluster A/B")
+    halo.add_argument("--players", type=int, default=1_000)
+    halo.add_argument("--load", type=float, default=1.0,
+                      help="fraction of the 80%%-CPU operating point")
+    halo.add_argument("--servers", type=int, default=10)
+    halo.add_argument("--duration", type=float, default=60.0,
+                      help="measurement seconds (after an equal warmup)")
+    halo.add_argument("--seed", type=int, default=1)
+    halo.add_argument("--no-baseline", action="store_true",
+                      help="run only the ActOp configuration")
+    halo.add_argument("--threads", action="store_true",
+                      help="also enable the thread-allocation optimizer")
+
+    hb = sub.add_parser("heartbeat", help="single-server thread allocation")
+    hb.add_argument("--rate", type=float, default=15_000.0)
+    hb.add_argument("--monitors", type=int, default=800)
+    hb.add_argument("--io-wait", type=float, default=0.0,
+                    help="synchronous blocking seconds per beat")
+    hb.add_argument("--seed", type=int, default=3)
+
+    part = sub.add_parser("partition", help="offline partitioner comparison")
+    part.add_argument("--graph", choices=("clustered", "powerlaw", "random"),
+                      default="clustered")
+    part.add_argument("--vertices", type=int, default=800)
+    part.add_argument("--servers", type=int, default=8)
+    part.add_argument("--seed", type=int, default=0)
+    part.add_argument(
+        "--algorithms", nargs="+",
+        choices=("alg1", "multilevel", "jabeja", "streaming"),
+        default=["alg1", "multilevel", "jabeja", "streaming"],
+    )
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _run_halo(args: argparse.Namespace) -> int:
+    rows = []
+    results = {}
+    configs = [(True, "ActOp")] if args.no_baseline else [
+        (False, "random placement"), (True, "ActOp")
+    ]
+    for partitioning, label in configs:
+        exp = HaloExperiment(
+            load_fraction=args.load,
+            players=args.players,
+            partitioning=partitioning,
+            thread_allocation=partitioning and args.threads,
+            num_servers=args.servers,
+            seed=args.seed,
+            label=label,
+        )
+        result = exp.run(warmup=args.duration, duration=args.duration)
+        results[label] = result
+        rows.append([
+            label, result.median * 1e3, result.p95 * 1e3, result.p99 * 1e3,
+            100 * result.cpu_utilization, 100 * result.remote_fraction,
+            result.migrations,
+        ])
+    print(render_table(
+        ["configuration", "median ms", "p95 ms", "p99 ms", "CPU %",
+         "remote %", "migrations"],
+        rows,
+        title=f"Halo Presence — {args.players} players, "
+              f"{args.servers} servers, load {args.load:.2f}",
+    ))
+    if len(results) == 2:
+        base, opt = results["random placement"], results["ActOp"]
+        print(f"\nimprovement: median {improvement(base.median, opt.median):.0f}%, "
+              f"p99 {improvement(base.p99, opt.p99):.0f}%")
+    return 0
+
+
+def _run_heartbeat(args: argparse.Namespace) -> int:
+    rows = []
+    for optimize, label in ((False, "default (8 per stage)"),
+                            (True, "ActOp model-based")):
+        exp = HeartbeatExperiment(
+            request_rate=args.rate, monitors=args.monitors,
+            thread_allocation=optimize, io_wait=args.io_wait, seed=args.seed,
+            label=label,
+        )
+        result = exp.run()
+        rows.append([
+            label, result.median * 1e3, result.p99 * 1e3,
+            100 * result.cpu_utilization, str(result.thread_allocation),
+        ])
+    print(render_table(
+        ["configuration", "median ms", "p99 ms", "CPU %", "allocation"],
+        rows,
+        title=f"Heartbeat — {args.rate:.0f} req/s on one 8-core server",
+    ))
+    return 0
+
+
+def _run_partition(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed)
+    if args.graph == "clustered":
+        clusters = max(2, args.vertices // 9)
+        graph = clustered_graph(clusters, 9, intra_weight=10.0,
+                                inter_edges_per_cluster=1, rng=rng)
+    elif args.graph == "powerlaw":
+        graph = power_law_graph(args.vertices, attach=2, rng=rng)
+    else:
+        graph = random_graph(args.vertices, mean_degree=6.0, rng=rng)
+
+    vertices = list(graph.vertices())
+    rng.shuffle(vertices)
+    base = {v: i % args.servers for i, v in enumerate(vertices)}
+    rows = [["random placement", cut_cost(graph, base),
+             max_imbalance(base, args.servers), 0.0]]
+
+    for algorithm in args.algorithms:
+        start = time.perf_counter()
+        if algorithm == "alg1":
+            part = OfflinePartitioner(graph, args.servers, delta=8, k=64,
+                                      seed=args.seed, initial=dict(base))
+            part.run(max_sweeps=40)
+            assignment = part.assignment
+        elif algorithm == "multilevel":
+            assignment = multilevel_partition(graph, args.servers,
+                                              rng=random.Random(args.seed))
+        elif algorithm == "jabeja":
+            assignment = jabeja_partition(
+                graph, args.servers, rounds=30,
+                rng=random.Random(args.seed), initial=dict(base),
+            ).assignment
+        else:
+            assignment = streaming_partition(graph, args.servers,
+                                             heuristic="fennel",
+                                             rng=random.Random(args.seed))
+        elapsed = time.perf_counter() - start
+        rows.append([algorithm, cut_cost(graph, assignment),
+                     max_imbalance(assignment, args.servers), elapsed])
+
+    print(render_table(
+        ["algorithm", "cut cost", "imbalance", "seconds"],
+        rows,
+        title=f"{args.graph} graph: {graph.num_vertices} vertices, "
+              f"{graph.num_edges} edges, {args.servers} servers",
+        floatfmt=".2f",
+    ))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "halo":
+        return _run_halo(args)
+    if args.command == "heartbeat":
+        return _run_heartbeat(args)
+    if args.command == "partition":
+        return _run_partition(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""The paper's contribution: locality-aware actor partitioning (§4),
+latency-optimized thread allocation (§5), and the integrated ActOp
+runtime optimizer (§6)."""
+
+from .actop import ActOp, ThreadControllerConfig
+from .partitioning import OfflinePartitioner, PartitionAgent, PartitioningConfig
+from .threads import ModelBasedController, QueueLengthController, ThreadAllocationProblem
+
+__all__ = [
+    "ActOp",
+    "ModelBasedController",
+    "OfflinePartitioner",
+    "PartitionAgent",
+    "PartitioningConfig",
+    "QueueLengthController",
+    "ThreadAllocationProblem",
+    "ThreadControllerConfig",
+]

@@ -1,0 +1,94 @@
+"""ActOp: the integrated optimization framework (§6.3).
+
+Attaches the paper's two mechanisms to a running cluster:
+
+* a :class:`~repro.core.partitioning.coordinator.PartitionAgent` per silo
+  (locality-aware actor partitioning, §4), and
+* a :class:`~repro.core.threads.controller.ModelBasedController` per silo
+  (latency-optimized thread allocation, §5).
+
+Either can be enabled alone — the evaluation benches exercise all three
+combinations, mirroring Figs. 10, 11(a) and 11(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..actor.runtime import ActorRuntime
+from .partitioning.coordinator import PartitionAgent, PartitioningConfig
+from .threads.controller import ModelBasedController
+
+__all__ = ["ThreadControllerConfig", "ActOp"]
+
+
+@dataclass
+class ThreadControllerConfig:
+    """Per-silo model-based thread controller knobs (§5)."""
+
+    eta: float = 1e-4          # the paper calibrates 100 µs/thread
+    period: float = 10.0
+    blocking_stages: Sequence[str] = ("worker",)
+    min_threads: int = 1
+    max_threads: Optional[int] = None
+    min_events: int = 50
+
+
+class ActOp:
+    """The runtime optimizer: partitioning + thread allocation."""
+
+    def __init__(
+        self,
+        runtime: ActorRuntime,
+        partitioning: Optional[PartitioningConfig] = None,
+        thread_allocation: Optional[ThreadControllerConfig] = None,
+    ):
+        if partitioning is None and thread_allocation is None:
+            raise ValueError("enable at least one of the two optimizations")
+        self.runtime = runtime
+        self.agents: list[PartitionAgent] = []
+        self.controllers: list[ModelBasedController] = []
+
+        if partitioning is not None:
+            for silo in runtime.silos:
+                self.agents.append(PartitionAgent(runtime, silo, partitioning))
+            peer_map = {agent.silo.server_id: agent for agent in self.agents}
+            for agent in self.agents:
+                agent.peers = peer_map
+
+        if thread_allocation is not None:
+            cfg = thread_allocation
+            for silo in runtime.silos:
+                self.controllers.append(
+                    ModelBasedController(
+                        runtime.sim,
+                        silo.server,
+                        eta=cfg.eta,
+                        period=cfg.period,
+                        blocking_stages=cfg.blocking_stages,
+                        min_threads=cfg.min_threads,
+                        max_threads=cfg.max_threads,
+                        min_events=cfg.min_events,
+                    )
+                )
+
+    def start(self) -> None:
+        for agent in self.agents:
+            agent.start()
+        for controller in self.controllers:
+            controller.start()
+
+    def stop(self) -> None:
+        for agent in self.agents:
+            agent.stop()
+        for controller in self.controllers:
+            controller.stop()
+
+    # ------------------------------------------------------------------
+    @property
+    def total_migrations(self) -> int:
+        return self.runtime.migrations_total
+
+    def remote_fraction(self) -> float:
+        return self.runtime.remote_message_fraction()

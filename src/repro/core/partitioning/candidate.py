@@ -1,0 +1,89 @@
+"""Candidate-set selection (§4.2, "Determining the candidate set").
+
+For every remote server q, the initiator p ranks its local vertices by
+transfer score R_{p,q}(v) and keeps the top k with positive scores; the
+candidate set is deliberately a small fraction of p's vertices, which is
+how the algorithm bounds per-exchange migration volume (§4.1).  p then
+targets the peer whose candidate set has the highest *total* score.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from .transfer_score import transfer_score
+from .view import PartitionView
+
+__all__ = ["Candidate", "candidate_set", "rank_peers", "PeerProposal"]
+
+Vertex = Hashable
+ServerId = int
+
+
+@dataclass
+class Candidate:
+    """A vertex proposed for migration, with enough context for the
+    receiver to re-score it: its sampled edge list and the proposer's
+    belief about each endpoint's location."""
+
+    vertex: Vertex
+    score: float
+    edges: dict[Vertex, float] = field(default_factory=dict)
+    endpoint_locations: dict[Vertex, ServerId] = field(default_factory=dict)
+
+
+@dataclass
+class PeerProposal:
+    """A ranked exchange opportunity: peer q plus p's candidate set S."""
+
+    peer: ServerId
+    candidates: list[Candidate]
+
+    @property
+    def total_score(self) -> float:
+        return sum(c.score for c in self.candidates)
+
+
+def candidate_set(view: PartitionView, target: ServerId, k: int) -> list[Candidate]:
+    """Top-k positive-score local vertices for migration to ``target``.
+
+    Each candidate ships its edge list and the proposer's location beliefs
+    so the receiver can recompute scores against fresher knowledge
+    (§4.2: q "may decide to reject some or even all of the vertices").
+    """
+    if k < 1:
+        return []
+    scored: list[tuple[float, Vertex]] = []
+    for v in view.local_vertices():
+        score = transfer_score(view.neighbors(v), view.locate, view.server_id, target)
+        if score > 0:
+            scored.append((score, v))
+    top = heapq.nlargest(k, scored, key=lambda sv: sv[0])
+    out = []
+    for score, v in top:
+        edges = dict(view.neighbors(v))
+        locations = {}
+        for u in edges:
+            loc = view.locate(u)
+            if loc is not None:
+                locations[u] = loc
+        out.append(Candidate(v, score, edges, locations))
+    return out
+
+
+def rank_peers(view: PartitionView, k: int) -> list[PeerProposal]:
+    """All peers with a non-empty candidate set, best total score first.
+
+    This is the order in which p attempts exchanges when peers reject
+    (§4.2: "p attempts an exchange with a remote server which would lead
+    to the second best cost reduction, and proceeds ...").
+    """
+    proposals = []
+    for q in view.peers():
+        cands = candidate_set(view, q, k)
+        if cands:
+            proposals.append(PeerProposal(q, cands))
+    proposals.sort(key=lambda pr: pr.total_score, reverse=True)
+    return proposals

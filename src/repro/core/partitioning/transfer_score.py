@@ -1,0 +1,50 @@
+"""Transfer scores (§4.2).
+
+For a vertex v hosted on p, the transfer score toward server q is the
+communication-cost reduction p expects from migrating v to q:
+
+    R_{p,q}(v) = sum_{u in Vq} w(v,u)  -  sum_{u in Vp} w(v,u)
+
+i.e. edges that would *become local* minus edges that would *become
+remote*.  Edges to third servers are unaffected by the move and do not
+appear.  A positive score means the move lowers the global cut by exactly
+R (when the view is accurate), which is what makes Theorem 1's monotone-
+decrease argument work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Mapping, Optional
+
+__all__ = ["transfer_score"]
+
+Vertex = Hashable
+ServerId = int
+
+
+def transfer_score(
+    neighbors: Mapping[Vertex, float],
+    locate: Callable[[Vertex], Optional[ServerId]],
+    source: ServerId,
+    target: ServerId,
+) -> float:
+    """R_{source,target}(v) for a vertex whose incident edges are given.
+
+    Args:
+        neighbors: v's neighbor -> weight map (sampled heavy edges).
+        locate: vertex -> hosting server resolver; unknown locations
+            (None) are treated as third-party servers and contribute
+            nothing, which errs toward fewer migrations.
+        source: the server currently hosting v (p).
+        target: the candidate destination (q).
+    """
+    if source == target:
+        raise ValueError("source and target servers must differ")
+    score = 0.0
+    for u, w in neighbors.items():
+        loc = locate(u)
+        if loc == target:
+            score += w
+        elif loc == source:
+            score -= w
+    return score

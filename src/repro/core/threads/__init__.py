@@ -1,0 +1,39 @@
+"""Latency-optimized thread allocation (§5) — the paper's second
+contribution: the SEDA queuing model, Theorem 2's closed-form solver,
+runtime parameter estimation, and the two controllers (ActOp's
+model-based one and the queue-length baseline it replaces)."""
+
+from .controller import ModelBasedController, QueueLengthController
+from .estimator import (
+    MeasuredStage,
+    estimate_alpha,
+    estimate_stage_loads,
+    estimate_stage_loads_direct,
+    measure_windows,
+)
+from .model import ThreadAllocationProblem
+from .optimizer import (
+    grid_search,
+    integerize,
+    solve_closed_form,
+    solve_fractional,
+    solve_integer,
+    solve_numeric,
+)
+
+__all__ = [
+    "MeasuredStage",
+    "ModelBasedController",
+    "QueueLengthController",
+    "ThreadAllocationProblem",
+    "estimate_alpha",
+    "estimate_stage_loads",
+    "estimate_stage_loads_direct",
+    "grid_search",
+    "integerize",
+    "measure_windows",
+    "solve_closed_form",
+    "solve_fractional",
+    "solve_integer",
+    "solve_numeric",
+]

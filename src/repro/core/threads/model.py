@@ -1,0 +1,98 @@
+"""The SEDA queuing model and optimization problem (*) of §5.2–5.3.
+
+A server has K stages; stage i sees arrival rate lambda_i, has t_i
+threads each serving at rate s_i = 1/(x_i + w_i) and consuming a fraction
+beta_i = x_i/(x_i + w_i) of a processor while busy.  The objective is the
+Jackson latency proxy (Eq. 1) plus a thread penalty:
+
+    minimize   (1/lambda_tot) sum_i lambda_i/(mu_i - lambda_i) + eta sum_i t_i
+    subject to mu_i >= lambda_i,  mu_i = s_i t_i,  sum_i t_i beta_i <= p.
+
+This module holds the problem description and the feasibility / zeta
+computations that Theorem 2's closed form hinges on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ...queueing.jackson import StageLoad, jackson_latency_with_penalty
+
+__all__ = ["ThreadAllocationProblem"]
+
+
+@dataclass
+class ThreadAllocationProblem:
+    """One instance of problem (*).
+
+    Attributes:
+        stages: per-stage loads (lambda_i, s_i, beta_i).
+        processors: p, cores available at the server.
+        eta: thread-penalty coefficient (time per thread); the paper
+            calibrates it once per deployment (100 µs/thread on their
+            servers) and keeps it fixed.
+    """
+
+    stages: Sequence[StageLoad]
+    processors: int
+    eta: float
+
+    def __post_init__(self) -> None:
+        if self.processors < 1:
+            raise ValueError("processors must be >= 1")
+        if self.eta <= 0:
+            raise ValueError("eta must be positive")
+        if not self.stages:
+            raise ValueError("need at least one stage")
+
+    # ------------------------------------------------------------------
+    @property
+    def lambda_tot(self) -> float:
+        return sum(s.arrival_rate for s in self.stages)
+
+    def cpu_demand(self) -> float:
+        """sum_i lambda_i beta_i / s_i — processor-seconds needed per second."""
+        return sum(
+            s.arrival_rate * s.cpu_fraction / s.service_rate_per_thread
+            for s in self.stages
+        )
+
+    def is_feasible(self) -> bool:
+        """Theorem 2's premise: the offered CPU load fits within p."""
+        return self.cpu_demand() < self.processors
+
+    def zeta(self) -> float:
+        """The threshold zeta of Theorem 2.
+
+        zeta = (1/lambda_tot) * [ sum_i beta_i sqrt(lambda_i/s_i)
+                                  / (p - sum_i lambda_i beta_i / s_i) ]^2
+
+        If eta >= zeta, the unconstrained stationary point already
+        satisfies the processor constraint and is therefore the optimum.
+        """
+        lam_tot = self.lambda_tot
+        if lam_tot <= 0:
+            return 0.0
+        headroom = self.processors - self.cpu_demand()
+        if headroom <= 0:
+            return math.inf
+        numer = sum(
+            s.cpu_fraction * math.sqrt(s.arrival_rate / s.service_rate_per_thread)
+            for s in self.stages
+        )
+        return (numer / headroom) ** 2 / lam_tot
+
+    # ------------------------------------------------------------------
+    def objective(self, threads: Sequence[float]) -> float:
+        """Evaluate (*) at a (possibly fractional) allocation."""
+        return jackson_latency_with_penalty(self.stages, threads, self.eta)
+
+    def satisfies_cpu_constraint(self, threads: Sequence[float], tol: float = 1e-9) -> bool:
+        used = sum(t * s.cpu_fraction for t, s in zip(threads, self.stages))
+        return used <= self.processors + tol
+
+    def min_feasible_threads(self) -> list[float]:
+        """Per-stage lower bounds lambda_i / s_i (stability boundary)."""
+        return [s.arrival_rate / s.service_rate_per_thread for s in self.stages]

@@ -1,0 +1,63 @@
+"""Partition-quality metrics: cut cost and balance.
+
+§4.1 defines the objective: minimize the total weight C of edges crossing
+partitions, subject to the balance constraint ``||Vp| - |Vq|| <= delta``
+for every pair of servers.  These functions evaluate any assignment
+against that objective; they are used by the comparator benches and by
+the Theorem-1 property tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Mapping
+
+from .comm_graph import CommGraph
+
+__all__ = [
+    "cut_cost",
+    "partition_sizes",
+    "max_imbalance",
+    "is_balanced",
+    "remote_fraction",
+]
+
+Vertex = Hashable
+
+
+def cut_cost(graph: CommGraph, assignment: Mapping[Vertex, int]) -> float:
+    """Total weight of edges whose endpoints sit on different servers (C)."""
+    total = 0.0
+    for u, v, w in graph.edges():
+        if assignment[u] != assignment[v]:
+            total += w
+    return total
+
+
+def partition_sizes(assignment: Mapping[Vertex, int]) -> dict[int, int]:
+    """Vertices per server."""
+    return dict(Counter(assignment.values()))
+
+
+def max_imbalance(assignment: Mapping[Vertex, int], num_servers: int) -> int:
+    """max_p |Vp| - min_p |Vq| over all servers (empty servers count as 0)."""
+    sizes = partition_sizes(assignment)
+    counts = [sizes.get(p, 0) for p in range(num_servers)]
+    return max(counts) - min(counts)
+
+
+def is_balanced(assignment: Mapping[Vertex, int], num_servers: int, delta: int) -> bool:
+    """The paper's balance constraint: every pairwise gap <= delta."""
+    return max_imbalance(assignment, num_servers) <= delta
+
+
+def remote_fraction(graph: CommGraph, assignment: Mapping[Vertex, int]) -> float:
+    """Fraction of communication weight that crosses servers.
+
+    This is the quantity Fig. 10(a) tracks over time (~0.9 random,
+    ~0.12 after ActOp converges).
+    """
+    total = graph.total_weight()
+    if total == 0:
+        return 0.0
+    return cut_cost(graph, assignment) / total

@@ -1,0 +1,97 @@
+"""M/M/1 and M/M/c queue formulas.
+
+§5 of the paper models every SEDA stage as an M/M/1 queue with service
+rate ``mu_i = t_i * s_i`` (threads times per-thread rate).  These are the
+textbook closed forms (Bertsekas & Gallager, *Data Networks*) used both by
+the optimizer and by tests that validate the simulator against theory.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "mm1_utilization",
+    "mm1_mean_queue_length",
+    "mm1_mean_latency",
+    "mm1_mean_wait",
+    "mmc_erlang_c",
+    "mmc_mean_latency",
+]
+
+
+def _check_stable(lam: float, mu: float) -> None:
+    if lam < 0 or mu <= 0:
+        raise ValueError(f"need lam >= 0 and mu > 0, got lam={lam}, mu={mu}")
+    if lam >= mu:
+        raise ValueError(f"unstable queue: lam={lam} >= mu={mu}")
+
+
+def mm1_utilization(lam: float, mu: float) -> float:
+    """Server utilization rho = lam / mu."""
+    _check_stable(lam, mu)
+    return lam / mu
+
+
+def mm1_mean_queue_length(lam: float, mu: float) -> float:
+    """Mean number in system, L = rho / (1 - rho).
+
+    This is the quantity whose non-linearity in rho the paper uses (§5.1)
+    to explain why queue-length-threshold controllers oscillate.
+    """
+    rho = mm1_utilization(lam, mu)
+    return rho / (1.0 - rho)
+
+
+def mm1_mean_latency(lam: float, mu: float) -> float:
+    """Mean time in system (wait + service), T = 1 / (mu - lam).
+
+    The per-stage latency term the paper sums in Eq. (1).
+    """
+    _check_stable(lam, mu)
+    return 1.0 / (mu - lam)
+
+
+def mm1_mean_wait(lam: float, mu: float) -> float:
+    """Mean time waiting in queue (excluding service)."""
+    rho = mm1_utilization(lam, mu)
+    return rho / (mu - lam)
+
+
+def mmc_erlang_c(lam: float, mu: float, c: int) -> float:
+    """Erlang-C: probability an arrival must queue in an M/M/c system.
+
+    ``mu`` here is the *per-server* service rate; stability requires
+    ``lam < c * mu``.
+    """
+    if c < 1:
+        raise ValueError("need at least one server")
+    if lam < 0 or mu <= 0:
+        raise ValueError("need lam >= 0 and mu > 0")
+    a = lam / mu  # offered load in Erlangs
+    rho = a / c
+    if rho >= 1.0:
+        raise ValueError(f"unstable queue: offered load {a} >= servers {c}")
+    # Sum_{k=0}^{c-1} a^k / k!  computed iteratively for stability.
+    term = 1.0
+    acc = 1.0
+    for k in range(1, c):
+        term *= a / k
+        acc += term
+    top = term * (a / c) / (1.0 - rho)
+    return top / (acc + top)
+
+
+def mmc_mean_latency(lam: float, mu: float, c: int) -> float:
+    """Mean time in system for M/M/c (per-server rate ``mu``)."""
+    pq = mmc_erlang_c(lam, mu, c)
+    wait = pq / (c * mu - lam)
+    return wait + 1.0 / mu
+
+
+def mm1_percentile_latency(lam: float, mu: float, q: float) -> float:
+    """q-quantile of M/M/1 sojourn time (exponential with rate mu - lam)."""
+    _check_stable(lam, mu)
+    if not 0 < q < 1:
+        raise ValueError("quantile must be in (0, 1)")
+    return -math.log(1.0 - q) / (mu - lam)

@@ -1,0 +1,102 @@
+"""Open Jackson networks with probabilistic routing.
+
+Eq. (1) of the paper uses the Jackson end-to-end delay formula with the
+per-stage arrival rates taken as *measured* inputs.  This module supplies
+the other half of the classical theory: given extraneous arrival rates
+``gamma`` and a routing matrix ``P`` (``P[i][j]`` = probability an event
+leaving stage i proceeds to stage j), solve the traffic equations
+
+    lambda = gamma + P^T lambda
+
+for the stationary per-stage rates, and evaluate the network's delay.
+Used by tests to cross-validate the simulator's measured stage rates
+against theory (e.g. the counter pipeline's receiver->worker->sender
+chain), and available to model richer topologies (the §2 server has
+branching: worker output splits between the two sender stages).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .jackson import StageLoad, jackson_latency
+
+__all__ = ["solve_traffic_equations", "JacksonNetwork"]
+
+
+def solve_traffic_equations(
+    gamma: Sequence[float], routing: Sequence[Sequence[float]]
+) -> list[float]:
+    """Stationary arrival rates of an open Jackson network.
+
+    Args:
+        gamma: extraneous (outside) arrival rate into each stage.
+        routing: routing[i][j] = P(event leaving i enters j); row sums
+            must be <= 1 (the remainder departs the network).
+
+    Returns:
+        lambda_i per stage.
+
+    Raises:
+        ValueError: on malformed inputs or a non-dissipative network
+            (spectral radius >= 1, i.e. traffic never leaves).
+    """
+    g = np.asarray(gamma, dtype=float)
+    P = np.asarray(routing, dtype=float)
+    k = g.shape[0]
+    if P.shape != (k, k):
+        raise ValueError(f"routing must be {k}x{k}, got {P.shape}")
+    if (g < 0).any() or (P < 0).any():
+        raise ValueError("rates and probabilities must be non-negative")
+    row_sums = P.sum(axis=1)
+    if (row_sums > 1 + 1e-9).any():
+        raise ValueError("routing row sums must be <= 1")
+    # lambda = gamma + P^T lambda  ->  (I - P^T) lambda = gamma
+    eye = np.eye(k)
+    try:
+        lam = np.linalg.solve(eye - P.T, g)
+    except np.linalg.LinAlgError as exc:
+        raise ValueError("traffic equations are singular") from exc
+    if (lam < -1e-9).any() or not np.isfinite(lam).all():
+        raise ValueError("network is non-dissipative (traffic accumulates)")
+    return [float(x) for x in lam]
+
+
+class JacksonNetwork:
+    """An open network of M/M/1-modeled stages with routing.
+
+    Combines the traffic equations with the paper's Eq.-(1) delay proxy.
+    """
+
+    def __init__(
+        self,
+        service_rates_per_thread: Sequence[float],
+        gamma: Sequence[float],
+        routing: Sequence[Sequence[float]],
+        names: Sequence[str] = (),
+    ):
+        if len(service_rates_per_thread) != len(gamma):
+            raise ValueError("length mismatch between rates and gamma")
+        self.arrival_rates = solve_traffic_equations(gamma, routing)
+        self.stages = [
+            StageLoad(
+                arrival_rate=lam,
+                service_rate_per_thread=s,
+                name=names[i] if i < len(names) else f"stage{i}",
+            )
+            for i, (lam, s) in enumerate(
+                zip(self.arrival_rates, service_rates_per_thread)
+            )
+        ]
+
+    def latency(self, threads: Sequence[float]) -> float:
+        """Eq. (1) at the solved stationary rates."""
+        return jackson_latency(self.stages, threads)
+
+    def utilizations(self, threads: Sequence[float]) -> list[float]:
+        return [
+            stage.arrival_rate / stage.service_rate(t)
+            for stage, t in zip(self.stages, threads)
+        ]

@@ -1,0 +1,16 @@
+"""SEDA substrate: stages, the staged-server chassis, and the standalone
+pipeline emulator used for the §5.1 controller study."""
+
+from .emulator import SedaEmulator, StageProfile
+from .server import StagedServer
+from .stage import Stage, StageEvent, StageStats, StatsWindow
+
+__all__ = [
+    "SedaEmulator",
+    "Stage",
+    "StageEvent",
+    "StageProfile",
+    "StageStats",
+    "StagedServer",
+    "StatsWindow",
+]

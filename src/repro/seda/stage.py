@@ -1,0 +1,265 @@
+"""A SEDA stage: task queue + bounded thread pool over shared processors.
+
+Each server stage (receive, application logic, send, ...) owns a FIFO queue
+of events and a configurable number of threads (§2, Fig. 2).  A thread
+takes one event at a time through the Fig.-9 lifecycle:
+
+    stage-queue wait -> ready time r -> compute x -> blocking wait w
+
+Compute runs on the server's shared :class:`~repro.sim.cpu.CpuPool` (which
+supplies ``r`` and inflates ``x`` under oversubscription); the blocking
+wait models synchronous I/O and holds the thread *without* holding a core.
+
+The stage keeps monotone counters (:class:`StageStats`) from which the
+§5.4 estimator derives its inputs.  Crucially, the counters expose only
+what the paper can measure on a real system — wall-clock ``z`` and CPU
+time ``x`` — while ready time and blocking wait stay hidden and must be
+inferred.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..sim.cpu import CpuBurst, CpuPool
+from ..sim.engine import Simulator
+
+__all__ = ["StageEvent", "StageStats", "StatsWindow", "Stage"]
+
+
+class StageEvent:
+    """One unit of work flowing through a stage."""
+
+    __slots__ = (
+        "compute",
+        "wait",
+        "callback",
+        "args",
+        "enqueue_time",
+        "dispatch_time",
+        "grant_time",
+        "compute_done_time",
+        "complete_time",
+    )
+
+    def __init__(self, compute: float, wait: float, callback: Callable[..., Any], args: tuple):
+        self.compute = compute
+        self.wait = wait
+        self.callback = callback
+        self.args = args
+        self.enqueue_time = 0.0
+        self.dispatch_time = 0.0
+        self.grant_time = 0.0
+        self.compute_done_time = 0.0
+        self.complete_time = 0.0
+
+    # Per-event breakdown (used by tests and the Fig.-4 bench tracer).
+    @property
+    def queue_wait(self) -> float:
+        """Time spent in the stage queue before a thread picked it up."""
+        return self.dispatch_time - self.enqueue_time
+
+    @property
+    def ready_time(self) -> float:
+        """Time runnable but waiting for a processor (``r``)."""
+        return self.grant_time - self.dispatch_time
+
+    @property
+    def cpu_time(self) -> float:
+        """Measured on-CPU time (``x``), inclusive of switch inflation."""
+        return self.compute_done_time - self.grant_time
+
+    @property
+    def wallclock(self) -> float:
+        """``z`` — thread-held wall-clock time: r + x + w."""
+        return self.complete_time - self.dispatch_time
+
+
+@dataclass
+class StatsWindow:
+    """A snapshot diff of :class:`StageStats` over a sampling window."""
+
+    elapsed: float
+    arrivals: int
+    completions: int
+    mean_z: float
+    mean_x: float
+    mean_queue_wait: float
+    mean_ready: float  # ground truth; the alpha estimator must not use it
+    mean_wait: float = 0.0  # blocking wait; observable only with OS/ETW support
+
+    @property
+    def arrival_rate(self) -> float:
+        return self.arrivals / self.elapsed if self.elapsed > 0 else 0.0
+
+
+class StageStats:
+    """Monotone counters; sample with :meth:`snapshot` + :meth:`window`."""
+
+    __slots__ = (
+        "arrivals",
+        "completions",
+        "sum_z",
+        "sum_x",
+        "sum_queue_wait",
+        "sum_ready",
+        "sum_wait",
+    )
+
+    def __init__(self) -> None:
+        self.arrivals = 0
+        self.completions = 0
+        self.sum_z = 0.0
+        self.sum_x = 0.0
+        self.sum_queue_wait = 0.0
+        self.sum_ready = 0.0
+        self.sum_wait = 0.0
+
+    def snapshot(self) -> tuple:
+        return (
+            self.arrivals,
+            self.completions,
+            self.sum_z,
+            self.sum_x,
+            self.sum_queue_wait,
+            self.sum_ready,
+            self.sum_wait,
+        )
+
+    def window(self, before: tuple, elapsed: float) -> StatsWindow:
+        arrivals = self.arrivals - before[0]
+        completions = self.completions - before[1]
+        n = max(completions, 1)
+        wait_before = before[6] if len(before) > 6 else 0.0
+        return StatsWindow(
+            elapsed=elapsed,
+            arrivals=arrivals,
+            completions=completions,
+            mean_z=(self.sum_z - before[2]) / n,
+            mean_x=(self.sum_x - before[3]) / n,
+            mean_queue_wait=(self.sum_queue_wait - before[4]) / n,
+            mean_ready=(self.sum_ready - before[5]) / n,
+            mean_wait=(self.sum_wait - wait_before) / n,
+        )
+
+
+class Stage:
+    """A single SEDA stage.
+
+    Args:
+        sim: driving simulator.
+        cpu: the server's shared processor pool.
+        name: stage name ("receiver", "worker", ...).
+        threads: initial thread-pool size.
+        blocking: whether events of this stage may carry a synchronous
+            wait component (the paper's S0 — stages *known* to never block
+            — is the complement of this flag).
+        tracer: optional per-event hook ``tracer(stage, event)`` fired at
+            completion; used by the Fig.-4 latency-breakdown bench.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cpu: CpuPool,
+        name: str,
+        threads: int = 1,
+        blocking: bool = False,
+        tracer: Optional[Callable[["Stage", StageEvent], None]] = None,
+    ):
+        if threads < 1:
+            raise ValueError("a stage needs at least one thread")
+        self.sim = sim
+        self.cpu = cpu
+        self.name = name
+        self.blocking = blocking
+        self.tracer = tracer
+        self.stats = StageStats()
+
+        self._threads = threads
+        self._busy = 0
+        self._queue: deque[StageEvent] = deque()
+        cpu.register_threads(threads)
+
+    # ------------------------------------------------------------------
+    # Thread-pool control (the knob §5 optimizes)
+    # ------------------------------------------------------------------
+    @property
+    def threads(self) -> int:
+        return self._threads
+
+    def set_threads(self, n: int) -> None:
+        """Resize the pool.  Shrinking is lazy: busy threads finish their
+        current event and then retire, as in real SEDA controllers."""
+        if n < 1:
+            raise ValueError("a stage needs at least one thread")
+        self.cpu.register_threads(n - self._threads)
+        self._threads = n
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    # Event flow
+    # ------------------------------------------------------------------
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    @property
+    def busy_threads(self) -> int:
+        return self._busy
+
+    def submit(
+        self,
+        compute: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        wait: float = 0.0,
+    ) -> StageEvent:
+        """Enqueue an event; ``callback(event, *args)`` fires at completion."""
+        if wait > 0 and not self.blocking:
+            raise ValueError(f"stage {self.name!r} is declared non-blocking")
+        event = StageEvent(compute, wait, callback, args)
+        event.enqueue_time = self.sim.now
+        self.stats.arrivals += 1
+        self._queue.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        while self._queue and self._busy < self._threads:
+            self._busy += 1
+            event = self._queue.popleft()
+            event.dispatch_time = self.sim.now
+            self.cpu.submit(event.compute, self._compute_done, event)
+
+    def _compute_done(self, burst: CpuBurst, event: StageEvent) -> None:
+        event.grant_time = burst.grant_time
+        event.compute_done_time = self.sim.now
+        if event.wait > 0:
+            # Blocking wait: the thread is held but the core is released.
+            self.sim.schedule(event.wait, self._complete, event)
+        else:
+            self._complete(event)
+
+    def _complete(self, event: StageEvent) -> None:
+        event.complete_time = self.sim.now
+        st = self.stats
+        st.completions += 1
+        st.sum_z += event.wallclock
+        st.sum_x += event.cpu_time
+        st.sum_queue_wait += event.queue_wait
+        st.sum_ready += event.ready_time
+        st.sum_wait += event.wait
+        self._busy -= 1
+        self._dispatch()
+        if self.tracer is not None:
+            self.tracer(self, event)
+        event.callback(event, *event.args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Stage({self.name!r}, threads={self._threads}, busy={self._busy}, "
+            f"queued={len(self._queue)})"
+        )

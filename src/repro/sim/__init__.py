@@ -1,0 +1,23 @@
+"""Discrete-event simulation substrate.
+
+The paper's testbed is ten 8-core Windows servers; ours is this package:
+a deterministic event engine (:mod:`.engine`), named RNG substreams
+(:mod:`.rng`), simulated processors with a FIFO run queue and
+context-switch costs (:mod:`.cpu`), and a datacenter network model
+(:mod:`.network`).
+"""
+
+from .cpu import CpuBurst, CpuPool
+from .engine import Event, SimulationError, Simulator
+from .network import Network
+from .rng import RngRegistry
+
+__all__ = [
+    "CpuBurst",
+    "CpuPool",
+    "Event",
+    "Network",
+    "RngRegistry",
+    "SimulationError",
+    "Simulator",
+]

@@ -1,0 +1,166 @@
+"""Simulated processors with a FIFO run queue.
+
+This module models the machine layer that gives the paper's measurements
+their meaning.  §5.4 of the paper breaks the processing of one event into
+
+* time queued in the SEDA stage (modeled by :mod:`repro.seda.stage`),
+* **ready time** ``r`` — runnable but waiting for a processor,
+* **compute time** ``x`` — actually executing on a core,
+* **blocking wait** ``w`` — off-CPU, waiting on a synchronous call.
+
+:class:`CpuPool` provides ``r`` and ``x``: stage threads submit compute
+bursts; with ``p`` processors at most ``p`` bursts run concurrently and the
+rest queue FIFO, accruing ready time.  Because all stages of a server share
+one pool, allocating more threads to one stage steals processor time from
+the others — exactly the coupling the thread-allocation optimization
+exploits.
+
+Oversubscription cost.  Real kernels charge context-switch and cache-
+pollution overhead when runnable threads exceed cores.  We model it as a
+multiplicative inflation of compute time::
+
+    inflation = 1 + switch_factor * max(0, registered_threads - processors)
+
+plus a fixed per-dispatch overhead.  This is what makes the Figure-5
+heatmap non-trivial: too few threads and stage queues blow up; too many
+and every burst pays the inflation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from .engine import Simulator
+
+__all__ = ["CpuBurst", "CpuPool"]
+
+
+class CpuBurst:
+    """One compute burst submitted to the pool.
+
+    Attributes record the Fig.-9 breakdown for the burst: ``submit_time``
+    (entered the run queue), ``grant_time`` (started on a core) and
+    ``finish_time``; ``ready_time`` is the difference the §5.4 estimator
+    infers but never observes directly.
+    """
+
+    __slots__ = (
+        "compute",
+        "inflated",
+        "callback",
+        "args",
+        "submit_time",
+        "grant_time",
+        "finish_time",
+    )
+
+    def __init__(self, compute: float, callback: Callable[..., Any], args: tuple):
+        self.compute = compute
+        self.inflated = compute
+        self.callback = callback
+        self.args = args
+        self.submit_time = 0.0
+        self.grant_time = 0.0
+        self.finish_time = 0.0
+
+    @property
+    def ready_time(self) -> float:
+        """Time spent runnable but not running (``r`` in the paper)."""
+        return self.grant_time - self.submit_time
+
+
+class CpuPool:
+    """``processors`` simulated cores shared by all stages of one server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        processors: int,
+        switch_factor: float = 0.05,
+        dispatch_overhead: float = 2e-6,
+    ):
+        if processors < 1:
+            raise ValueError("need at least one processor")
+        self.sim = sim
+        self.processors = processors
+        self.switch_factor = switch_factor
+        self.dispatch_overhead = dispatch_overhead
+        self.registered_threads = 0
+
+        self._free = processors
+        self._queue: deque[CpuBurst] = deque()
+
+        # Accounting (monotone counters; callers diff them per window).
+        self.busy_time = 0.0
+        self.ready_time_total = 0.0
+        self.bursts_completed = 0
+
+    # ------------------------------------------------------------------
+    # Thread registration (drives the oversubscription penalty)
+    # ------------------------------------------------------------------
+    def register_threads(self, delta: int) -> None:
+        """Inform the pool that the server's total thread count changed."""
+        self.registered_threads += delta
+        if self.registered_threads < 0:
+            raise ValueError("registered thread count went negative")
+
+    def inflation(self) -> float:
+        """Current compute-time inflation factor from oversubscription."""
+        excess = max(0, self.registered_threads - self.processors)
+        return 1.0 + self.switch_factor * excess
+
+    # ------------------------------------------------------------------
+    # Burst submission
+    # ------------------------------------------------------------------
+    def submit(self, compute: float, callback: Callable[..., Any], *args: Any) -> CpuBurst:
+        """Submit a compute burst; ``callback(burst, *args)`` fires when done."""
+        if compute < 0:
+            raise ValueError(f"negative compute time {compute}")
+        burst = CpuBurst(compute, callback, args)
+        burst.submit_time = self.sim.now
+        if self._free > 0:
+            self._grant(burst)
+        else:
+            self._queue.append(burst)
+        return burst
+
+    def _grant(self, burst: CpuBurst) -> None:
+        self._free -= 1
+        burst.grant_time = self.sim.now
+        burst.inflated = burst.compute * self.inflation() + self.dispatch_overhead
+        self.sim.schedule(burst.inflated, self._finish, burst)
+
+    def _finish(self, burst: CpuBurst) -> None:
+        burst.finish_time = self.sim.now
+        self.busy_time += burst.inflated
+        self.ready_time_total += burst.ready_time
+        self.bursts_completed += 1
+        self._free += 1
+        if self._queue:
+            self._grant(self._queue.popleft())
+        burst.callback(burst, *burst.args)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def run_queue_length(self) -> int:
+        """Bursts waiting for a core right now."""
+        return len(self._queue)
+
+    @property
+    def cores_busy(self) -> int:
+        return self.processors - self._free
+
+    def utilization(self, busy_before: float, time_before: float) -> float:
+        """Mean utilization over the window since a prior sample.
+
+        Callers snapshot ``(pool.busy_time, sim.now)`` and pass the old
+        values here; returns busy core-seconds divided by available
+        core-seconds, in [0, ~1].
+        """
+        elapsed = self.sim.now - time_before
+        if elapsed <= 0:
+            return 0.0
+        return (self.busy_time - busy_before) / (elapsed * self.processors)

@@ -1,0 +1,168 @@
+"""Discrete-event simulation engine.
+
+Everything in the reproduction — SEDA servers, the CPU scheduler, the
+network, the actor runtime — is driven by one :class:`Simulator` instance.
+The engine is deliberately small: a binary heap of timestamped callbacks
+with deterministic FIFO tie-breaking for events scheduled at the same
+instant.  Determinism matters because the paper's algorithms (partitioning
+rounds, controller periods) are sensitive to ordering, and reproducible
+runs are what make the benchmark tables comparable across machines.
+
+Time is a float in **seconds** of simulated time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid engine usage (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Returned by :meth:`Simulator.schedule` and :meth:`Simulator.at` so the
+    caller can cancel it.  Cancellation is O(1): the heap entry is marked
+    dead and skipped when popped.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        # Heap ordering: by time, then insertion order (FIFO at equal times).
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+class Simulator:
+    """A minimal deterministic discrete-event simulator.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.5, print, "fires at t=1.5")
+        sim.run(until=10.0)
+
+    Callbacks may schedule further events; :meth:`run` drains the heap in
+    timestamp order until the horizon is reached or no events remain.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total callbacks fired so far (cancelled events excluded)."""
+        return self._events_processed
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still on the heap."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
+        if delay < 0 or math.isnan(delay):
+            raise SimulationError(f"cannot schedule with negative/NaN delay {delay!r}")
+        return self.at(self._now + delay, callback, *args)
+
+    def at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to fire at absolute ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (already at t={self._now})"
+            )
+        event = Event(time, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at the current instant (after any
+        events already queued for this instant)."""
+        return self.at(self._now, callback, *args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next event.  Returns False when the heap is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Drain the event heap.
+
+        Args:
+            until: stop once simulated time would exceed this horizon; the
+                clock is advanced to exactly ``until``.  ``None`` runs to
+                exhaustion.
+            max_events: optional safety valve on the number of callbacks.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly from a callback")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                self._events_processed += 1
+                event.callback(*event.args)
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Simulator(t={self._now:.6f}, pending={len(self._heap)})"

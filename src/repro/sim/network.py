@@ -1,0 +1,61 @@
+"""Inter-server network model.
+
+The paper's clusters sit on a single datacenter LAN; Figure 4 shows the
+network contributes ~1% of end-to-end latency.  What makes remote calls
+expensive is the *serialization CPU work* charged in the send/receive
+stages (modeled in :mod:`repro.actor.serialization`), not the wire.  The
+network model is therefore simple: a base propagation latency plus
+lognormal jitter, with deterministic per-link substreams.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .engine import Simulator
+from .rng import RngRegistry
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Point-to-point message delivery with latency and jitter.
+
+    Args:
+        sim: the driving simulator.
+        rng: registry for the jitter substream.
+        base_latency: one-way propagation + switching delay in seconds
+            (default 0.5 ms, typical intra-datacenter).
+        jitter: multiplicative lognormal sigma; 0 disables jitter.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: RngRegistry,
+        base_latency: float = 0.0005,
+        jitter: float = 0.1,
+    ):
+        self.sim = sim
+        self.base_latency = base_latency
+        self.jitter = jitter
+        self._rng = rng.stream("network.jitter")
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def latency(self) -> float:
+        """Draw a one-way delivery latency."""
+        if self.jitter <= 0:
+            return self.base_latency
+        return self.base_latency * self._rng.lognormvariate(0.0, self.jitter)
+
+    def deliver(
+        self,
+        size_bytes: int,
+        callback: Callable[..., Any],
+        *args: Any,
+    ) -> None:
+        """Deliver a message: fire ``callback(*args)`` after one latency draw."""
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        self.sim.schedule(self.latency(), callback, *args)

@@ -1,0 +1,25 @@
+"""The paper's workloads: Halo Presence (§3/§6.1), Heartbeat (§6.2), and
+the counter micro-app (§3)."""
+
+from .counter import CounterActor, CounterConfig, CounterWorkload
+from .halo import GameActor, HaloConfig, HaloWorkload, PlayerActor
+from .heartbeat import (
+    HeartbeatActor,
+    HeartbeatConfig,
+    HeartbeatWorkload,
+    make_blocking_heartbeat,
+)
+
+__all__ = [
+    "CounterActor",
+    "CounterConfig",
+    "CounterWorkload",
+    "GameActor",
+    "HaloConfig",
+    "HaloWorkload",
+    "HeartbeatActor",
+    "HeartbeatConfig",
+    "HeartbeatWorkload",
+    "PlayerActor",
+    "make_blocking_heartbeat",
+]

@@ -1,0 +1,339 @@
+"""Halo Presence (§3, §6.1) — the paper's flagship workload.
+
+Two actor types:
+
+* **Player** — holds a reference to its current game.  A client status
+  request hits a player; the player forwards to its game, which
+  broadcasts to all members and aggregates the replies — so one client
+  request fans out into 1 + 1 + 8 + 8 = 18 actor-to-actor messages
+  (with the paper's 8 players per game), exactly the §3 arithmetic.
+* **Game** — the chat-room-like hub holding its member list.
+
+The driver reproduces §6.1's generative churn model:
+
+* new players arrive Poisson and enter a pool of idle players;
+* matchmaking repeatedly draws ``players_per_game`` players at random
+  from the pool whenever it holds more than ``pool_target``;
+* game durations are uniform in ``game_duration``;
+* a player plays ``games_per_player`` (uniform integer range) games and
+  then leaves the system (its actor is idle-collected);
+* clients issue status requests about random live players at
+  ``request_rate``.
+
+Paper-scale values (100K players, 1000-player pool, 20–30-minute games,
+6K req/s) are impractical for an in-process DES, so the defaults are a
+documented scale-down with the same *ratios*: ~1% of the communication
+graph churning per simulated minute once durations are compressed, and a
+request rate chosen to land at the same per-server CPU utilization.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from ..actor.actor import Actor
+from ..actor.calls import All, Call
+from ..actor.ids import ActorRef
+from ..actor.runtime import ActorRuntime
+
+__all__ = ["PlayerActor", "GameActor", "HaloConfig", "HaloWorkload"]
+
+
+class PlayerActor(Actor):
+    """A live player; belongs to at most one game at a time."""
+
+    COMPUTE = {
+        "request_status": 40e-6,
+        "update": 25e-6,
+        "join_game": 20e-6,
+        "leave_game": 20e-6,
+    }
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.game: Optional[ActorRef] = None
+        self.updates_seen = 0
+
+    def join_game(self, game_ref: ActorRef) -> bool:
+        self.game = game_ref
+        return True
+
+    def leave_game(self) -> bool:
+        self.game = None
+        return True
+
+    def update(self, payload: object) -> int:
+        """Receive one broadcast event from the game."""
+        self.updates_seen += 1
+        return 1
+
+    def request_status(self, payload: object):
+        """Client entry point: report status via the game fan-out."""
+        if self.game is None:
+            return {"state": "idle"}
+        acks = yield Call(self.game, "broadcast_status", payload,
+                          size=256, response_size=64)
+        return {"state": "playing", "acks": acks}
+
+
+class GameActor(Actor):
+    """A game session: the hub of its members' communication."""
+
+    COMPUTE = {
+        "start_game": 30e-6,
+        "broadcast_status": 50e-6,
+        "end_game": 30e-6,
+    }
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.members: list[ActorRef] = []
+
+    def start_game(self, members: tuple[ActorRef, ...]):
+        """Install the roster and notify every member (actor-to-actor)."""
+        self.members = list(members)
+        yield All([
+            Call(p, "join_game", self.self_ref(), size=128, response_size=32)
+            for p in self.members
+        ])
+        return True
+
+    def broadcast_status(self, payload: object):
+        """Fan the event out to every member and count the acks."""
+        if not self.members:
+            return 0
+        acks = yield All([
+            Call(p, "update", payload, size=256, response_size=32)
+            for p in self.members
+        ])
+        return sum(acks)
+
+    def end_game(self):
+        """Release every member, then dissolve."""
+        if self.members:
+            yield All([
+                Call(p, "leave_game", size=64, response_size=32)
+                for p in self.members
+            ])
+        self.members = []
+        return True
+
+
+@dataclass
+class HaloConfig:
+    """Workload shape.
+
+    Paper values in comments; defaults are the documented scale-down
+    used by the benches (override freely).
+    """
+
+    target_players: int = 2_000          # paper: 100_000
+    players_per_game: int = 8            # paper: 8
+    pool_target: int = 40                # paper: 1_000 idle players
+    game_duration: tuple[float, float] = (60.0, 90.0)   # paper: 1200-1800 s
+    games_per_player: tuple[int, int] = (3, 5)          # paper: 3-5
+    request_rate: float = 120.0          # paper: 2_000-6_000 req/s
+    matchmaking_period: float = 1.0
+    request_size: int = 256
+    response_size: int = 128
+    bootstrap: bool = True               # start with a full population
+
+
+class HaloWorkload:
+    """Drives Halo Presence against a cluster, with §6.1's churn model."""
+
+    PLAYER = "player"
+    GAME = "game"
+
+    def __init__(self, runtime: ActorRuntime, config: Optional[HaloConfig] = None):
+        self.runtime = runtime
+        self.config = config or HaloConfig()
+        if self.PLAYER not in runtime.actor_types:
+            runtime.register_actor(self.PLAYER, PlayerActor)
+            runtime.register_actor(self.GAME, GameActor)
+        rng = runtime.rng
+        self._arrival_rng = rng.stream("halo.arrivals")
+        self._match_rng = rng.stream("halo.matchmaking")
+        self._request_rng = rng.stream("halo.requests")
+        self._player_ids = itertools.count()
+        self._game_ids = itertools.count()
+
+        self.idle_pool: list[int] = []
+        self.playing: set[int] = set()
+        self.games_played: dict[int, int] = {}
+        self.quota: dict[int, int] = {}
+        self.live_players: list[int] = []   # sampled for status requests
+        self._live_index: dict[int, int] = {}
+        self.active_games: dict[int, list[int]] = {}
+        self.requests_issued = 0
+        self.games_started = 0
+        self.players_departed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Population bookkeeping
+    # ------------------------------------------------------------------
+    def _mean_session_seconds(self) -> float:
+        games = sum(self.config.games_per_player) / 2
+        duration = sum(self.config.game_duration) / 2
+        return games * duration
+
+    def arrival_rate(self) -> float:
+        """Poisson arrival rate that sustains ``target_players`` (§6.1)."""
+        return self.config.target_players / self._mean_session_seconds()
+
+    def _add_player(self) -> int:
+        pid = next(self._player_ids)
+        self.games_played[pid] = 0
+        self.quota[pid] = self._match_rng.randint(*self.config.games_per_player)
+        self.idle_pool.append(pid)
+        self._live_index[pid] = len(self.live_players)
+        self.live_players.append(pid)
+        return pid
+
+    def _remove_player(self, pid: int) -> None:
+        # O(1) removal: swap with the last live player.
+        idx = self._live_index.pop(pid)
+        last = self.live_players.pop()
+        if last != pid:
+            self.live_players[idx] = last
+            self._live_index[last] = idx
+        self.games_played.pop(pid, None)
+        self.quota.pop(pid, None)
+        self.players_departed += 1
+        self.runtime.deactivate(self.runtime.ref(self.PLAYER, pid).id)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._running = True
+        if self.config.bootstrap:
+            self._bootstrap()
+        self._schedule_arrival()
+        self.runtime.sim.schedule(self.config.matchmaking_period, self._matchmaking_tick)
+        self._schedule_request()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _bootstrap(self) -> None:
+        """Start at steady state: a full population, most of it in games
+        whose remaining durations are uniform (stationary residuals)."""
+        for _ in range(self.config.target_players):
+            self._add_player()
+        # Form games out of everyone beyond the idle-pool target.
+        while len(self.idle_pool) >= self.config.pool_target + self.config.players_per_game:
+            self._start_game(bootstrap=True)
+
+    # ------------------------------------------------------------------
+    # Arrivals
+    # ------------------------------------------------------------------
+    def _schedule_arrival(self) -> None:
+        if not self._running:
+            return
+        gap = self._arrival_rng.expovariate(self.arrival_rate())
+        self.runtime.sim.schedule(gap, self._on_arrival)
+
+    def _on_arrival(self) -> None:
+        if not self._running:
+            return
+        self._add_player()
+        self._schedule_arrival()
+
+    # ------------------------------------------------------------------
+    # Matchmaking and game lifecycle
+    # ------------------------------------------------------------------
+    def _matchmaking_tick(self) -> None:
+        if not self._running:
+            return
+        while len(self.idle_pool) >= self.config.pool_target + self.config.players_per_game:
+            self._start_game()
+        self.runtime.sim.schedule(self.config.matchmaking_period, self._matchmaking_tick)
+
+    def _draw_members(self) -> list[int]:
+        members = []
+        for _ in range(self.config.players_per_game):
+            idx = self._match_rng.randrange(len(self.idle_pool))
+            self.idle_pool[idx], self.idle_pool[-1] = (
+                self.idle_pool[-1],
+                self.idle_pool[idx],
+            )
+            members.append(self.idle_pool.pop())
+        return members
+
+    def _start_game(self, bootstrap: bool = False) -> None:
+        members = self._draw_members()
+        gid = next(self._game_ids)
+        self.active_games[gid] = members
+        self.playing.update(members)
+        self.games_started += 1
+        game_ref = self.runtime.ref(self.GAME, gid)
+        refs = tuple(self.runtime.ref(self.PLAYER, pid) for pid in members)
+        self.runtime.client_request(game_ref, "start_game", refs,
+                                    size=256, response_size=32)
+        lo, hi = self.config.game_duration
+        duration = self._match_rng.uniform(lo, hi)
+        if bootstrap:
+            # Stationary residual lifetime: the game is already underway.
+            duration *= self._match_rng.random()
+        self.runtime.sim.schedule(duration, self._end_game, gid)
+
+    def _end_game(self, gid: int) -> None:
+        if not self._running:
+            return
+        members = self.active_games.pop(gid, None)
+        if members is None:
+            return
+        game_ref = self.runtime.ref(self.GAME, gid)
+        # Player bookkeeping happens only once the game has released every
+        # member (in the completion hook): deactivating a departing player
+        # before the game's leave_game call reaches it would immediately
+        # re-activate it, leaking actors.
+        self.runtime.client_request(
+            game_ref, "end_game", size=64, response_size=32,
+            on_complete=lambda latency, result: self._game_closed(gid, members),
+        )
+
+    def _game_closed(self, gid: int, members: list[int]) -> None:
+        self.runtime.deactivate(self.runtime.ref(self.GAME, gid).id)
+        for pid in members:
+            self.playing.discard(pid)
+            if pid not in self.games_played:
+                continue  # departed concurrently (should not happen)
+            self.games_played[pid] += 1
+            if self.games_played[pid] >= self.quota[pid]:
+                self._remove_player(pid)
+            else:
+                self.idle_pool.append(pid)
+
+    # ------------------------------------------------------------------
+    # Client status requests
+    # ------------------------------------------------------------------
+    def _schedule_request(self) -> None:
+        if not self._running:
+            return
+        gap = self._request_rng.expovariate(self.config.request_rate)
+        self.runtime.sim.schedule(gap, self._fire_request)
+
+    def _fire_request(self) -> None:
+        if not self._running:
+            return
+        self._schedule_request()
+        if not self.live_players:
+            return
+        pid = self.live_players[self._request_rng.randrange(len(self.live_players))]
+        ref = self.runtime.ref(self.PLAYER, pid)
+        self.requests_issued += 1
+        self.runtime.client_request(
+            ref, "request_status", self.requests_issued,
+            size=self.config.request_size,
+            response_size=self.config.response_size,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def population(self) -> int:
+        return len(self.live_players)

@@ -1,0 +1,161 @@
+"""Integration tests: basic actor semantics on a live cluster."""
+
+import pytest
+
+from repro.actor.actor import Actor
+from repro.actor.calls import All, Call, Sleep
+from repro.actor.runtime import ActorRuntime, ClusterConfig
+
+
+class Echo(Actor):
+    COMPUTE = {"echo": 1e-5}
+
+    def echo(self, value):
+        return value
+
+
+class Accumulator(Actor):
+    def __init__(self):
+        super().__init__()
+        self.total = 0
+
+    def add(self, amount):
+        self.total += amount
+        return self.total
+
+
+class FanOut(Actor):
+    def fan(self, targets, value):
+        results = yield All([Call(t, "echo", value) for t in targets])
+        return results
+
+
+class Chainer(Actor):
+    def relay(self, target, value):
+        doubled = yield Call(target, "echo", value * 2)
+        return doubled + 1
+
+
+class Napper(Actor):
+    def nap(self, duration):
+        yield Sleep(duration)
+        return "rested"
+
+
+def make_runtime(servers=2, seed=0, **kw):
+    rt = ActorRuntime(ClusterConfig(num_servers=servers, seed=seed, **kw))
+    rt.register_actor("echo", Echo)
+    rt.register_actor("acc", Accumulator)
+    rt.register_actor("fan", FanOut)
+    rt.register_actor("chain", Chainer)
+    rt.register_actor("nap", Napper)
+    return rt
+
+
+def test_client_request_round_trip():
+    rt = make_runtime()
+    results = []
+    rt.client_request(rt.ref("echo", 1), "echo", "hello",
+                      on_complete=lambda lat, res: results.append((lat, res)))
+    rt.run(until=1.0)
+    assert len(results) == 1
+    latency, result = results[0]
+    assert result == "hello"
+    assert latency > 0
+    assert rt.requests_completed == 1
+    assert rt.client_latency.count == 1
+
+
+def test_virtual_activation_on_first_call():
+    rt = make_runtime()
+    ref = rt.ref("acc", "counter")
+    assert rt.locate(ref.id) is None
+    rt.client_request(ref, "add", 5)
+    rt.run(until=1.0)
+    assert rt.locate(ref.id) is not None
+
+
+def test_state_accumulates_across_requests():
+    rt = make_runtime()
+    ref = rt.ref("acc", 1)
+    results = []
+    for i in range(3):
+        rt.client_request(ref, "add", 10,
+                          on_complete=lambda lat, res: results.append(res))
+    rt.run(until=2.0)
+    assert results == [10, 20, 30]
+
+
+def test_actor_to_actor_call_and_return():
+    rt = make_runtime()
+    results = []
+    echo_ref = rt.ref("echo", "target")
+    rt.client_request(rt.ref("chain", 1), "relay", echo_ref, 21,
+                      on_complete=lambda lat, res: results.append(res))
+    rt.run(until=2.0)
+    assert results == [43]  # 21*2 echoed, +1
+
+
+def test_fan_out_join_preserves_order():
+    rt = make_runtime(servers=4)
+    targets = [rt.ref("echo", i) for i in range(6)]
+    results = []
+    rt.client_request(rt.ref("fan", 1), "fan", targets, "x",
+                      on_complete=lambda lat, res: results.append(res))
+    rt.run(until=2.0)
+    assert results == [["x"] * 6]
+    # 6 calls + 6 responses between actors
+    assert rt.msgs_local + rt.msgs_remote == 12
+
+
+def test_sleep_suspends_without_holding_thread():
+    rt = make_runtime(servers=1)
+    results = []
+    rt.client_request(rt.ref("nap", 1), "nap", 0.5,
+                      on_complete=lambda lat, res: results.append((lat, res)))
+    rt.run(until=2.0)
+    assert results[0][1] == "rested"
+    assert results[0][0] >= 0.5
+
+
+def test_state_survives_deactivation():
+    rt = make_runtime()
+    ref = rt.ref("acc", "persistent")
+    rt.client_request(ref, "add", 7)
+    rt.run(until=1.0)
+    assert rt.deactivate(ref.id)
+    rt.run(until=1.5)
+    assert rt.locate(ref.id) is None
+    results = []
+    rt.client_request(ref, "add", 1,
+                      on_complete=lambda lat, res: results.append(res))
+    rt.run(until=3.0)
+    assert results == [8]  # 7 restored from storage, +1
+
+
+def test_many_concurrent_clients_all_complete():
+    rt = make_runtime(servers=3)
+    done = []
+    for i in range(200):
+        rt.client_request(rt.ref("echo", i % 20), "echo", i,
+                          on_complete=lambda lat, res: done.append(res))
+    rt.run(until=5.0)
+    assert len(done) == 200
+
+
+def test_unknown_actor_type_rejected():
+    rt = make_runtime()
+    with pytest.raises(KeyError):
+        rt.ref("nonexistent", 1)
+
+
+def test_duplicate_type_registration_rejected():
+    rt = make_runtime()
+    with pytest.raises(ValueError):
+        rt.register_actor("echo", Echo)
+
+
+def test_non_actor_registration_rejected():
+    rt = make_runtime()
+    with pytest.raises(TypeError):
+        rt.register_actor("bogus", object)

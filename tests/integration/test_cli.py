@@ -1,0 +1,59 @@
+"""Integration tests for the CLI (invoked in-process)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    assert "repro" in capsys.readouterr().out
+
+
+def test_partition_command(capsys):
+    code = main([
+        "partition", "--graph", "clustered", "--vertices", "180",
+        "--servers", "4", "--algorithms", "alg1", "streaming",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "random placement" in out
+    assert "alg1" in out
+    assert "streaming" in out
+
+
+def test_partition_powerlaw_and_random_graphs(capsys):
+    for graph in ("powerlaw", "random"):
+        code = main([
+            "partition", "--graph", graph, "--vertices", "150",
+            "--servers", "3", "--algorithms", "multilevel",
+        ])
+        assert code == 0
+    out = capsys.readouterr().out
+    assert "multilevel" in out
+
+
+def test_heartbeat_command(capsys):
+    code = main(["heartbeat", "--rate", "4000", "--monitors", "100"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "ActOp model-based" in out
+    assert "median ms" in out
+
+
+def test_halo_command_small(capsys):
+    code = main([
+        "halo", "--players", "200", "--servers", "4", "--load", "0.5",
+        "--duration", "20", "--no-baseline",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "ActOp" in out
+    assert "migrations" in out

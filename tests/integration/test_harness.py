@@ -1,0 +1,68 @@
+"""Integration tests for the calibrated experiment harness."""
+
+import pytest
+
+from repro.bench.harness import (
+    CounterExperiment,
+    HeartbeatExperiment,
+    HaloExperiment,
+    halo_partitioning_config,
+    halo_thread_config,
+    improvement,
+)
+
+
+def test_improvement_metric():
+    assert improvement(100.0, 50.0) == pytest.approx(50.0)
+    assert improvement(100.0, 100.0) == 0.0
+    assert improvement(0.0, 10.0) == 0.0  # guarded
+    assert improvement(50.0, 75.0) == pytest.approx(-50.0)  # regression
+
+
+def test_configs_are_fresh_instances():
+    a, b = halo_partitioning_config(), halo_partitioning_config()
+    assert a is not b
+    a.delta = 999
+    assert halo_partitioning_config().delta != 999
+    assert halo_thread_config(10.0).eta == pytest.approx(1e-3)
+
+
+def test_counter_experiment_result_fields():
+    exp = CounterExperiment(request_rate=2_000.0, actors=100, time_scale=1.0)
+    result = exp.run(warmup=2.0, duration=4.0, cdf_points=10)
+    assert result.requests > 0
+    assert result.median > 0
+    assert result.p99 >= result.p95 >= result.median
+    assert 0 < result.cpu_utilization < 1
+    assert result.remote_fraction == 0.0  # single server, no actor calls
+    assert result.cdf and result.cdf[-1][1] == 1.0
+    summary = result.summary_ms()
+    assert summary["median_ms"] == pytest.approx(result.median * 1000)
+
+
+def test_counter_experiment_thread_override():
+    exp = CounterExperiment(request_rate=500.0, actors=50, time_scale=1.0,
+                            threads={"worker": 2, "client_sender": 3})
+    assert exp.runtime.silos[0].server.thread_allocation()["worker"] == 2
+    assert exp.runtime.silos[0].server.thread_allocation()["client_sender"] == 3
+
+
+def test_heartbeat_experiment_normalizes_by_time_scale():
+    r1 = HeartbeatExperiment(request_rate=2_000.0, monitors=100,
+                             time_scale=1.0).run(warmup=3.0, duration=6.0)
+    r4 = HeartbeatExperiment(request_rate=2_000.0, monitors=100,
+                             time_scale=4.0).run(warmup=12.0, duration=24.0)
+    # Normalized medians agree across time scales (same operating point).
+    assert r4.median == pytest.approx(r1.median, rel=0.1)
+
+
+def test_halo_experiment_small_end_to_end():
+    exp = HaloExperiment(load_fraction=0.3, players=300, partitioning=True,
+                         num_servers=4, time_scale=10.0)
+    result = exp.run(warmup=30.0, duration=30.0, sample_period=10.0)
+    assert result.requests > 50
+    assert result.migrations > 0
+    assert result.remote_fraction < 0.5  # partitioning took effect
+    assert result.sampler is not None
+    assert len(result.sampler.remote_share) > 0
+    assert result.call_median > 0

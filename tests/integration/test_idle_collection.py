@@ -1,0 +1,84 @@
+"""Integration tests: Orleans-style idle-activation collection."""
+
+import pytest
+
+from repro.actor.actor import Actor
+from repro.actor.runtime import ActorRuntime, ClusterConfig
+
+
+class Blip(Actor):
+    def __init__(self):
+        super().__init__()
+        self.hits = 0
+
+    def hit(self):
+        self.hits += 1
+        return self.hits
+
+
+def make_runtime(age, period=1.0):
+    rt = ActorRuntime(ClusterConfig(
+        num_servers=2, seed=0,
+        idle_collection_age=age, idle_collection_period=period,
+    ))
+    rt.register_actor("blip", Blip)
+    return rt
+
+
+def test_idle_actor_collected_after_age():
+    rt = make_runtime(age=2.0)
+    ref = rt.ref("blip", 1)
+    rt.client_request(ref, "hit")
+    rt.run(until=1.0)
+    assert rt.locate(ref.id) is not None
+    rt.run(until=5.0)  # idle beyond age -> collected at a GC tick
+    assert rt.locate(ref.id) is None
+
+
+def test_active_actor_survives_collection():
+    rt = make_runtime(age=2.0)
+    ref = rt.ref("blip", 1)
+
+    def keep_hitting(n):
+        if n == 0:
+            return
+        rt.client_request(ref, "hit")
+        rt.sim.schedule(1.0, keep_hitting, n - 1)
+
+    keep_hitting(8)
+    rt.run(until=8.5)
+    assert rt.locate(ref.id) is not None
+
+
+def test_collected_actor_state_survives_reactivation():
+    rt = make_runtime(age=1.0)
+    ref = rt.ref("blip", 7)
+    rt.client_request(ref, "hit")
+    rt.run(until=4.0)
+    assert rt.locate(ref.id) is None  # collected
+    results = []
+    rt.client_request(ref, "hit",
+                      on_complete=lambda lat, res: results.append(res))
+    rt.run(until=8.0)
+    assert results == [2]  # state restored from storage
+
+
+def test_collection_disabled_by_default():
+    rt = ActorRuntime(ClusterConfig(num_servers=1, seed=0))
+    rt.register_actor("blip", Blip)
+    ref = rt.ref("blip", 1)
+    rt.client_request(ref, "hit")
+    rt.sim.schedule(100.0, lambda: None)
+    rt.run()
+    assert rt.locate(ref.id) is not None
+
+
+def test_collect_idle_returns_count():
+    rt = make_runtime(age=1000.0, period=1000.0)  # GC effectively off
+    for i in range(5):
+        rt.client_request(rt.ref("blip", i), "hit")
+    rt.run(until=2.0)
+    silo_counts = [silo.collect_idle(max_age=0.5) for silo in rt.silos]
+    assert sum(silo_counts) == 5
+    rt.run(until=3.0)
+    assert len(rt.directory) == 0

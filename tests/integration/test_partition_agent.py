@@ -1,0 +1,160 @@
+"""Integration tests: the online partitioning agent on a live cluster."""
+
+import pytest
+
+from repro.actor.actor import Actor
+from repro.actor.calls import Call
+from repro.actor.runtime import ActorRuntime, ClusterConfig
+from repro.core.actop import ActOp
+from repro.core.partitioning.coordinator import PartitionAgent, PartitioningConfig
+
+
+class Chatter(Actor):
+    """Calls a fixed partner on every poke — a two-actor clique."""
+
+    def poke(self, partner):
+        ack = yield Call(partner, "ack")
+        return ack
+
+
+class Partner(Actor):
+    def ack(self):
+        return 1
+
+
+def make_cluster(servers=3, seed=0):
+    rt = ActorRuntime(ClusterConfig(num_servers=servers, seed=seed))
+    rt.register_actor("chatter", Chatter)
+    rt.register_actor("partner", Partner)
+    return rt
+
+
+def fast_config(**overrides):
+    defaults = dict(
+        round_period=1.0,
+        stats_period=0.5,
+        cooldown=0.5,
+        delta=8,
+        candidate_fraction=1.0,
+        candidate_max=32,
+        decay=0.9,
+        warmup=1.0,
+    )
+    defaults.update(overrides)
+    return PartitioningConfig(**defaults)
+
+
+def drive_pairs(rt, pairs, period, until):
+    """Poke each (chatter, partner) pair every ``period`` seconds."""
+
+    def tick(t):
+        if t >= until:
+            return
+        for chatter, partner in pairs:
+            rt.client_request(chatter, "poke", partner)
+        rt.sim.schedule(period, tick, t + period)
+
+    rt.sim.schedule(0.0, tick, 0.0)
+
+
+def test_fold_counters_builds_edge_summary():
+    rt = make_cluster(servers=2)
+    chatter, partner = rt.ref("chatter", 1), rt.ref("partner", 1)
+    rt.activate(chatter.id, 0)
+    rt.activate(partner.id, 1)
+    agent = PartitionAgent(rt, rt.silos[0], fast_config())
+    rt.client_request(chatter, "poke", partner)
+    rt.run(until=1.0)
+    agent.fold_counters()
+    # chatter sent a call and received a response: weight 2 toward
+    # partner (decay applies to *previously folded* weight, not fresh
+    # counters).
+    assert agent.edges.count((chatter.id, partner.id)) == pytest.approx(2.0)
+    agent.fold_counters()
+    assert agent.edges.count((chatter.id, partner.id)) == pytest.approx(2.0 * 0.9)
+
+
+def test_view_excludes_departed_actors():
+    rt = make_cluster(servers=2)
+    chatter, partner = rt.ref("chatter", 1), rt.ref("partner", 1)
+    rt.activate(chatter.id, 0)
+    rt.activate(partner.id, 1)
+    agent = PartitionAgent(rt, rt.silos[0], fast_config())
+    rt.client_request(chatter, "poke", partner)
+    rt.run(until=1.0)
+    agent.fold_counters()
+    rt.silos[0].migrate(chatter.id, destination=1)
+    rt.run(until=1.5)
+    agent.fold_counters()  # purges stale edges
+    view = agent.build_view()
+    assert chatter.id not in view.edges
+
+
+def test_agents_colocate_communicating_pairs():
+    rt = make_cluster(servers=3, seed=2)
+    pairs = []
+    for i in range(12):
+        chatter, partner = rt.ref("chatter", i), rt.ref("partner", i)
+        # scatter deliberately: chatter and partner on different servers
+        rt.activate(chatter.id, i % 3)
+        rt.activate(partner.id, (i + 1) % 3)
+        pairs.append((chatter, partner))
+    actop = ActOp(rt, partitioning=fast_config())
+    drive_pairs(rt, pairs, period=0.1, until=30.0)
+    actop.start()
+    rt.run(until=30.0)
+    colocated = sum(
+        1 for c, p in pairs if rt.locate(c.id) == rt.locate(p.id)
+    )
+    assert colocated >= 10  # nearly all pairs co-located
+    assert rt.migrations_total > 0
+
+
+def test_balance_respected_during_colocations():
+    rt = make_cluster(servers=3, seed=3)
+    pairs = []
+    for i in range(15):
+        chatter, partner = rt.ref("chatter", i), rt.ref("partner", i)
+        rt.activate(chatter.id, i % 3)
+        rt.activate(partner.id, (i + 1) % 3)
+        pairs.append((chatter, partner))
+    actop = ActOp(rt, partitioning=fast_config(delta=4))
+    drive_pairs(rt, pairs, period=0.1, until=25.0)
+    actop.start()
+    rt.run(until=25.0)
+    census = rt.census()
+    assert max(census.values()) - min(census.values()) <= 8  # 2*delta slack
+
+
+def test_cooldown_rejects_rapid_exchanges():
+    rt = make_cluster(servers=2)
+    config = fast_config(cooldown=1000.0)  # effectively permanent
+    agent0 = PartitionAgent(rt, rt.silos[0], config)
+    agent1 = PartitionAgent(rt, rt.silos[1], config)
+    agent0.peers = agent1.peers = {0: agent0, 1: agent1}
+    agent1.last_exchange_time = 0.0  # pretend it just exchanged
+    rt.sim.schedule(1.0, lambda: None)
+    rt.run()
+    from repro.core.partitioning.protocol import ExchangeRequest
+
+    response = agent1.serve_request(ExchangeRequest(0, 1, [], 0))
+    assert not response.accepted
+    assert response.rejection_reason == "cooldown"
+
+
+def test_exchange_counters_track_activity():
+    rt = make_cluster(servers=2, seed=4)
+    pairs = []
+    for i in range(6):
+        chatter, partner = rt.ref("chatter", i), rt.ref("partner", i)
+        rt.activate(chatter.id, 0)
+        rt.activate(partner.id, 1)
+        pairs.append((chatter, partner))
+    actop = ActOp(rt, partitioning=fast_config())
+    drive_pairs(rt, pairs, period=0.1, until=10.0)
+    actop.start()
+    rt.run(until=10.0)
+    initiated = sum(a.exchanges_initiated for a in actop.agents)
+    accepted = sum(a.exchanges_accepted for a in actop.agents)
+    assert initiated > 0
+    assert accepted > 0

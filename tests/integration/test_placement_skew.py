@@ -1,0 +1,54 @@
+"""Integration test: §3's prefer-local skew argument.
+
+"Another notable disadvantage of the local placement policy is that it
+might lead to a skewed and unbalanced actor distribution across servers"
+— we reproduce the scenario: a spawner actor that creates a tree of
+children.  Under prefer-local everything piles onto one silo; under
+random placement the children spread out.
+"""
+
+from repro.actor.actor import Actor
+from repro.actor.calls import All, Call
+from repro.actor.placement import PreferLocalPlacement
+from repro.actor.runtime import ActorRuntime, ClusterConfig
+
+
+class Spawner(Actor):
+    def spawn_children(self, child_refs):
+        acks = yield All([Call(c, "boot") for c in child_refs])
+        return sum(acks)
+
+
+class Child(Actor):
+    def boot(self):
+        return 1
+
+
+def run(policy, servers=4):
+    rt = ActorRuntime(ClusterConfig(num_servers=servers, seed=9))
+    rt.register_actor("spawner", Spawner)
+    rt.register_actor("child", Child)
+    if policy is not None:
+        rt.set_placement(policy)
+    root = rt.ref("spawner", "root")
+    rt.activate(root.id, 0)
+    children = [rt.ref("child", i) for i in range(40)]
+    done = []
+    rt.client_request(root, "spawn_children", children,
+                      on_complete=lambda lat, res: done.append(res))
+    rt.run(until=5.0)
+    assert done == [40]
+    census = rt.census()
+    return census
+
+
+def test_prefer_local_piles_everything_on_the_caller():
+    census = run(PreferLocalPlacement())
+    assert census[0] == 41  # root + all 40 children
+    assert all(census[p] == 0 for p in (1, 2, 3))
+
+
+def test_random_placement_spreads_children():
+    census = run(None)  # default random
+    assert max(census.values()) < 25
+    assert sum(1 for c in census.values() if c > 0) >= 3

@@ -1,0 +1,134 @@
+"""Integration tests: silo edge cases and defensive paths."""
+
+import pytest
+
+from repro.actor.actor import Actor
+from repro.actor.calls import Call
+from repro.actor.ids import ActorId
+from repro.actor.messages import Message, MessageKind
+from repro.actor.runtime import ActorRuntime, ClusterConfig
+
+
+class Echo(Actor):
+    def echo(self, v):
+        return v
+
+
+class Slowpoke(Actor):
+    COMPUTE = {"crawl": 2.0}
+
+    def crawl(self):
+        return "done"
+
+
+def make_runtime(**kw):
+    rt = ActorRuntime(ClusterConfig(num_servers=2, seed=0, **kw))
+    rt.register_actor("echo", Echo)
+    rt.register_actor("slow", Slowpoke)
+    return rt
+
+
+def test_stale_response_is_dropped_silently():
+    """A response whose continuation is gone (e.g. already timed out)
+    must not crash the silo."""
+    rt = make_runtime()
+    silo = rt.silos[0]
+    stale = Message(kind=MessageKind.RESPONSE, target=None, call_id=999_999,
+                    result="late")
+    silo.deliver(stale)
+    rt.run(until=1.0)  # deserialize + route: no effect, no exception
+
+
+def test_double_timeout_and_response_race():
+    """Response arrives after the timeout already resolved the call: the
+    late response must be ignored, not double-resume the generator."""
+    # No cluster-wide timeout (the client keeps waiting); the inner call
+    # carries its own 0.5 s timeout.
+    rt = make_runtime()
+
+    class Caller(Actor):
+        def go(self, target):
+            try:
+                reply = yield Call(target, "crawl", timeout=0.5)
+            except Exception:
+                return "timed out"
+            return reply
+
+    rt.register_actor("caller", Caller)
+    results = []
+    rt.client_request(rt.ref("caller", 1), "go", rt.ref("slow", 1),
+                      on_complete=lambda lat, res: results.append(res))
+    rt.run(until=10.0)  # crawl finishes at ~2s, long after the timeout
+    assert results == ["timed out"]
+    # the late real response was dropped without a second resume
+    assert all(not s._pending for s in rt.silos)
+
+
+def test_yielding_garbage_raises_type_error():
+    rt = make_runtime()
+
+    class Confused(Actor):
+        def bad(self):
+            yield 42
+
+    rt.register_actor("confused", Confused)
+    rt.client_request(rt.ref("confused", 1), "bad")
+    with pytest.raises(TypeError):
+        rt.run(until=1.0)
+
+
+def test_deliver_to_dead_silo_is_noop():
+    rt = make_runtime()
+    rt.fail_silo(1)
+    msg = Message(kind=MessageKind.CLIENT_REQUEST, target=ActorId("echo", 1),
+                  method="echo", args=("x",))
+    rt.silos[1].deliver(msg)
+    rt.run(until=1.0)
+    assert rt.silos[1].receiver.stats.arrivals == 0
+
+
+def test_fail_is_idempotent_and_restart_clean():
+    rt = make_runtime()
+    rt.activate(rt.ref("echo", 1).id, 1)
+    rt.fail_silo(1)
+    rt.fail_silo(1)  # second crash: no double-unregister
+    assert len(rt.directory) == 0
+    rt.restart_silo(1)
+    assert not rt.silos[1].dead
+
+
+def test_unknown_actor_method_raises():
+    rt = make_runtime()
+    rt.client_request(rt.ref("echo", 1), "no_such_method")
+    with pytest.raises(AttributeError):
+        rt.run(until=1.0)
+
+
+def test_response_size_flows_from_call():
+    """The response serialization cost must reflect Call(response_size=...)."""
+    rt = make_runtime()
+
+    class Chunky(Actor):
+        def fetch(self, target):
+            reply = yield Call(target, "echo", "x" * 10,
+                               size=100, response_size=8000)
+            return len(reply)
+
+    rt.register_actor("chunky", Chunky)
+    chunky, echo = rt.ref("chunky", 1), rt.ref("echo", 1)
+    rt.activate(chunky.id, 0)
+    rt.activate(echo.id, 1)
+    results = []
+    rt.client_request(chunky, "fetch", echo,
+                      on_complete=lambda lat, res: results.append(res))
+    rt.run(until=2.0)
+    assert results == [10]
+    # the big response crossed silo 1's server sender: its measured mean
+    # cpu must exceed the small request's serialize cost
+    sender_stats = rt.silos[1].server_sender.stats
+    assert sender_stats.completions == 1
+    # Measured CPU time includes the oversubscription inflation (the
+    # default 32 threads on 8 cores), exactly as a cycle counter would.
+    big_cost = (rt.serialization.serialize_cost(8000)
+                * rt.silos[1].server.cpu.inflation())
+    assert sender_stats.sum_x == pytest.approx(big_cost, rel=0.05)

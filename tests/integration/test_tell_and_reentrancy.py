@@ -1,0 +1,124 @@
+"""Integration tests: fire-and-forget messages and reentrancy modes."""
+
+import pytest
+
+from repro.actor.actor import Actor
+from repro.actor.calls import Call, Tell
+from repro.actor.runtime import ActorRuntime, ClusterConfig
+
+
+class Notifier(Actor):
+    def notify_all(self, targets):
+        for t in targets:
+            yield Tell(t, "note", "ping")
+        return len(targets)
+
+
+class Listener(Actor):
+    def __init__(self):
+        super().__init__()
+        self.notes = []
+
+    def note(self, text):
+        self.notes.append(text)
+        return None
+
+    def count(self):
+        return len(self.notes)
+
+
+class MutualA(Actor):
+    REENTRANT = True
+
+    def start(self, other):
+        reply = yield Call(other, "bounce", self.self_ref())
+        return reply
+
+
+class MutualB(Actor):
+    REENTRANT = True
+
+    def bounce(self, caller):
+        # Call back into the (suspended) caller: requires reentrancy.
+        reply = yield Call(caller, "leaf")
+        return reply + 1
+
+
+class SerialA(MutualA):
+    REENTRANT = False
+
+
+class LeafMixin:
+    def leaf(self):
+        return 10
+
+
+class MutualAWithLeaf(MutualA, LeafMixin):
+    pass
+
+
+class SerialAWithLeaf(SerialA, LeafMixin):
+    pass
+
+
+def make_runtime(**kw):
+    rt = ActorRuntime(ClusterConfig(num_servers=2, seed=0, **kw))
+    rt.register_actor("notifier", Notifier)
+    rt.register_actor("listener", Listener)
+    rt.register_actor("a", MutualAWithLeaf)
+    rt.register_actor("sa", SerialAWithLeaf)
+    rt.register_actor("b", MutualB)
+    return rt
+
+
+def test_tell_delivers_without_response():
+    rt = make_runtime()
+    listeners = [rt.ref("listener", i) for i in range(3)]
+    done = []
+    rt.client_request(rt.ref("notifier", 1), "notify_all", listeners,
+                      on_complete=lambda lat, res: done.append(res))
+    rt.run(until=2.0)
+    assert done == [3]
+    counts = []
+    for listener in listeners:
+        rt.client_request(listener, "count",
+                          on_complete=lambda lat, res: counts.append(res))
+    rt.run(until=4.0)
+    assert counts == [1, 1, 1]
+
+
+def test_tell_messages_counted_once_no_response():
+    rt = make_runtime()
+    listeners = [rt.ref("listener", i) for i in range(4)]
+    rt.client_request(rt.ref("notifier", 1), "notify_all", listeners)
+    rt.run(until=2.0)
+    # 4 oneway messages, no responses
+    assert rt.msgs_local + rt.msgs_remote == 4
+
+
+def test_reentrant_call_cycle_completes():
+    rt = make_runtime()
+    a, b = rt.ref("a", 1), rt.ref("b", 1)
+    done = []
+    rt.client_request(a, "start", b,
+                      on_complete=lambda lat, res: done.append(res))
+    rt.run(until=3.0)
+    assert done == [11]  # leaf 10 + 1 in bounce
+
+
+def test_nonreentrant_call_cycle_deadlocks():
+    """With REENTRANT=False, a -> b -> a is a deadlock: a's turn is open
+    awaiting b, and b's callback into a queues forever.  The simulation
+    must drain without completing the request (and without crashing)."""
+    rt = make_runtime()
+    a, b = rt.ref("sa", 1), rt.ref("b", 1)
+    done = []
+    rt.client_request(a, "start", b,
+                      on_complete=lambda lat, res: done.append(res))
+    rt.run(until=5.0)
+    assert done == []
+    # The leaf invocation is stuck in the actor's private queue.
+    silo = rt.silos[rt.locate(a.id)]
+    activation = silo.activations[a.id]
+    assert activation.open_turns == 1
+    assert len(activation.queue) == 1

@@ -1,0 +1,74 @@
+"""Property tests: candidate selection matches a brute-force reference."""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitioning.candidate import candidate_set, rank_peers
+from repro.core.partitioning.transfer_score import transfer_score
+from repro.core.partitioning.view import PartitionView
+
+
+@st.composite
+def views(draw):
+    servers = draw(st.integers(2, 4))
+    n_local = draw(st.integers(0, 10))
+    n_remote = draw(st.integers(1, 10))
+    remote_locs = {
+        f"r{i}": draw(st.integers(0, servers - 1)) for i in range(n_remote)
+    }
+    edges = {}
+    for i in range(n_local):
+        nbrs = {}
+        for j in range(n_local):
+            if i != j and draw(st.booleans()):
+                nbrs[f"v{j}"] = draw(st.floats(0.1, 9.0, allow_nan=False))
+        for r in remote_locs:
+            if draw(st.booleans()):
+                nbrs[r] = draw(st.floats(0.1, 9.0, allow_nan=False))
+        edges[f"v{i}"] = nbrs
+    sizes = {p: draw(st.integers(0, 20)) for p in range(servers)}
+    view = PartitionView(
+        server_id=0,
+        edges=edges,
+        locate=remote_locs.get,
+        size=sizes[0],
+        peer_sizes=sizes,
+    )
+    return view, servers
+
+
+@given(views(), st.integers(1, 6))
+@settings(max_examples=200, deadline=None)
+def test_candidate_set_is_exact_top_k_positive(view_and_servers, k):
+    view, servers = view_and_servers
+    for target in range(1, servers):
+        cands = candidate_set(view, target, k)
+        # brute-force reference
+        scored = []
+        for v in view.local_vertices():
+            s = transfer_score(view.neighbors(v), view.locate, 0, target)
+            if s > 0:
+                scored.append((s, str(v)))
+        expected = heapq.nlargest(k, scored)
+        got = [(c.score, str(c.vertex)) for c in cands]
+        assert sorted(got, reverse=True) == sorted(expected, reverse=True)
+        # scores strictly positive and sorted descending
+        assert all(c.score > 0 for c in cands)
+        assert [c.score for c in cands] == sorted(
+            (c.score for c in cands), reverse=True)
+
+
+@given(views(), st.integers(1, 6))
+@settings(max_examples=150, deadline=None)
+def test_rank_peers_ordering_and_completeness(view_and_servers, k):
+    view, servers = view_and_servers
+    proposals = rank_peers(view, k)
+    totals = [p.total_score for p in proposals]
+    assert totals == sorted(totals, reverse=True)
+    assert all(t > 0 for t in totals)
+    listed = {p.peer for p in proposals}
+    for target in range(1, servers):
+        has_candidates = bool(candidate_set(view, target, k))
+        assert (target in listed) == has_candidates

@@ -1,0 +1,61 @@
+"""Property tests: event-engine ordering and percentile correctness."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.metrics import LatencyRecorder, percentile
+from repro.sim.engine import Simulator
+
+
+@given(st.lists(st.floats(0.0, 100.0, allow_nan=False), min_size=1,
+                max_size=100))
+@settings(max_examples=200, deadline=None)
+def test_events_always_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(st.lists(st.floats(0.0, 50.0, allow_nan=False), min_size=2,
+                max_size=50),
+       st.data())
+@settings(max_examples=100, deadline=None)
+def test_cancellation_removes_exactly_the_cancelled(delays, data):
+    sim = Simulator()
+    events = []
+    fired = []
+    for i, d in enumerate(delays):
+        events.append(sim.schedule(d, fired.append, i))
+    to_cancel = data.draw(st.sets(st.integers(0, len(delays) - 1)))
+    for i in to_cancel:
+        events[i].cancel()
+    sim.run()
+    assert sorted(fired) == sorted(set(range(len(delays))) - to_cancel)
+
+
+@given(st.lists(st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=300),
+       st.floats(0.0, 100.0))
+@settings(max_examples=200, deadline=None)
+def test_percentile_matches_numpy(samples, q):
+    assert percentile(samples, q) == np.float64(np.percentile(samples, q)).item() or \
+        abs(percentile(samples, q) - float(np.percentile(samples, q))) <= 1e-6 * max(
+            1.0, abs(float(np.percentile(samples, q))))
+
+
+@given(st.lists(st.floats(0.0, 1e3, allow_nan=False), min_size=1,
+                max_size=500))
+@settings(max_examples=100, deadline=None)
+def test_recorder_mean_and_count_exact_with_reservoir(samples):
+    rec = LatencyRecorder(reservoir=32)
+    for s in samples:
+        rec.record(s)
+    assert rec.count == len(samples)
+    assert abs(rec.mean - sum(samples) / len(samples)) <= 1e-6 * max(
+        1.0, sum(samples))
+    assert len(rec._samples) <= 32

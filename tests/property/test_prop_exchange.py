@@ -1,0 +1,78 @@
+"""Property tests: the greedy exchange procedure's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitioning.candidate import Candidate
+from repro.core.partitioning.exchange import greedy_exchange
+
+
+@st.composite
+def exchange_instances(draw):
+    n_s = draw(st.integers(0, 8))
+    n_t = draw(st.integers(0, 8))
+    s_names = [f"s{i}" for i in range(n_s)]
+    t_names = [f"t{i}" for i in range(n_t)]
+    everyone = s_names + t_names
+
+    def cands(names):
+        out = []
+        for name in names:
+            score = draw(st.floats(-10, 10, allow_nan=False))
+            edges = {}
+            for other in everyone:
+                if other != name and draw(st.booleans()):
+                    edges[other] = draw(st.floats(0.1, 5.0, allow_nan=False))
+            out.append(Candidate(name, score, edges))
+        return out
+
+    size_p = draw(st.integers(0, 40))
+    size_q = draw(st.integers(0, 40))
+    delta = draw(st.integers(0, 10))
+    return cands(s_names), cands(t_names), size_p, size_q, delta
+
+
+@given(exchange_instances())
+@settings(max_examples=300, deadline=None)
+def test_invariants(instance):
+    s, t, size_p, size_q, delta = instance
+    out = greedy_exchange(s, t, size_p, size_q, delta)
+
+    s_names = {c.vertex for c in s}
+    t_names = {c.vertex for c in t}
+
+    # 1. No duplicates, and every move comes from the right side.
+    assert len(set(out.accepted)) == len(out.accepted)
+    assert len(set(out.returned)) == len(out.returned)
+    assert set(out.accepted) <= s_names
+    assert set(out.returned) <= t_names
+
+    # 2. The final pairwise balance respects delta whenever the starting
+    #    sizes did (the procedure never worsens an already-balanced pair
+    #    beyond delta).
+    a, b = len(out.accepted), len(out.returned)
+    if abs(size_p - size_q) <= delta:
+        assert abs((size_p - a + b) - (size_q + a - b)) <= delta
+
+    # 3. Estimated gain is the sum of positive scores at mark time.
+    assert out.estimated_gain >= 0.0
+    if out.moves == 0:
+        assert out.estimated_gain == 0.0
+
+
+@given(exchange_instances(), st.integers(0, 5))
+@settings(max_examples=150, deadline=None)
+def test_max_moves_respected(instance, cap):
+    s, t, size_p, size_q, delta = instance
+    out = greedy_exchange(s, t, size_p, size_q, delta, max_moves=cap)
+    assert out.moves <= cap
+
+
+@given(exchange_instances())
+@settings(max_examples=150, deadline=None)
+def test_deterministic(instance):
+    s, t, size_p, size_q, delta = instance
+    first = greedy_exchange(s, t, size_p, size_q, delta)
+    second = greedy_exchange(s, t, size_p, size_q, delta)
+    assert first.accepted == second.accepted
+    assert first.returned == second.returned

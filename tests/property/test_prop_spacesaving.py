@@ -1,0 +1,75 @@
+"""Property tests: Space-Saving guarantees (Metwally et al. 2005)."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.spacesaving import SpaceSaving
+
+streams = st.lists(st.integers(min_value=0, max_value=30), min_size=1,
+                   max_size=400)
+capacities = st.integers(min_value=1, max_value=12)
+
+
+@given(streams, capacities)
+@settings(max_examples=200, deadline=None)
+def test_counts_bracket_truth(stream, capacity):
+    """For every monitored key: count - error <= true count <= count."""
+    ss = SpaceSaving(capacity)
+    truth = Counter()
+    for key in stream:
+        ss.offer(key)
+        truth[key] += 1
+    for key, estimate in ss.items():
+        assert estimate >= truth[key]
+        assert ss.guaranteed_count(key) <= truth[key]
+
+
+@given(streams, capacities)
+@settings(max_examples=200, deadline=None)
+def test_heavy_hitters_always_monitored(stream, capacity):
+    """Any key with true count > N/capacity must be in the summary."""
+    ss = SpaceSaving(capacity)
+    truth = Counter()
+    for key in stream:
+        ss.offer(key)
+        truth[key] += 1
+    threshold = len(stream) / capacity
+    for key, count in truth.items():
+        if count > threshold:
+            assert key in ss
+
+
+@given(streams, capacities)
+@settings(max_examples=100, deadline=None)
+def test_size_never_exceeds_capacity(stream, capacity):
+    ss = SpaceSaving(capacity)
+    for key in stream:
+        ss.offer(key)
+        assert len(ss) <= capacity
+
+
+@given(streams, capacities)
+@settings(max_examples=100, deadline=None)
+def test_total_weight_preserved(stream, capacity):
+    ss = SpaceSaving(capacity)
+    for key in stream:
+        ss.offer(key)
+    assert ss.total_weight == len(stream)
+    # sum of monitored counts >= stream length can exceed truth due to
+    # overestimation, but never undershoots the monitored keys' truth.
+    assert sum(c for _, c in ss.items()) >= 0
+
+
+@given(streams, capacities,
+       st.floats(min_value=0.1, max_value=1.0))
+@settings(max_examples=100, deadline=None)
+def test_decay_preserves_ordering(stream, capacity, factor):
+    ss = SpaceSaving(capacity)
+    for key in stream:
+        ss.offer(key)
+    before = [k for k, _ in ss.top(len(ss))]
+    ss.decay(factor)
+    after = [k for k, _ in ss.top(len(ss))]
+    assert before == after  # uniform decay cannot reorder

@@ -1,0 +1,52 @@
+"""Property tests for the size-aware exchange (§4.2 extension)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitioning.candidate import Candidate
+from repro.core.partitioning.exchange import greedy_exchange
+
+
+@st.composite
+def weighted_instances(draw):
+    n_s = draw(st.integers(0, 6))
+    n_t = draw(st.integers(0, 6))
+    s = [Candidate(f"s{i}", draw(st.floats(-5, 10, allow_nan=False)))
+         for i in range(n_s)]
+    t = [Candidate(f"t{i}", draw(st.floats(-5, 10, allow_nan=False)))
+         for i in range(n_t)]
+    sizes = {
+        c.vertex: draw(st.floats(0.5, 8.0, allow_nan=False))
+        for c in s + t
+    }
+    size_p = draw(st.floats(0.0, 80.0, allow_nan=False))
+    size_q = draw(st.floats(0.0, 80.0, allow_nan=False))
+    delta = draw(st.floats(0.0, 20.0, allow_nan=False))
+    return s, t, sizes, size_p, size_q, delta
+
+
+@given(weighted_instances())
+@settings(max_examples=200, deadline=None)
+def test_weighted_balance_never_worsened_beyond_delta(instance):
+    s, t, sizes, size_p, size_q, delta = instance
+    out = greedy_exchange(s, t, size_p, size_q, delta, vertex_sizes=sizes)
+    moved_q = sum(sizes[v] for v in out.accepted)
+    moved_p = sum(sizes[v] for v in out.returned)
+    final_gap = abs((size_p - moved_q + moved_p) - (size_q + moved_q - moved_p))
+    if abs(size_p - size_q) <= delta:
+        assert final_gap <= delta + 1e-9
+    else:
+        # started violated: the procedure may only shrink or hold the gap
+        assert final_gap <= abs(size_p - size_q) + 1e-9
+
+
+@given(weighted_instances())
+@settings(max_examples=200, deadline=None)
+def test_weighted_matches_unit_sizes_when_uniform(instance):
+    s, t, _, size_p, size_q, delta = instance
+    uniform = {c.vertex: 1.0 for c in s + t}
+    a = greedy_exchange(s, t, int(size_p), int(size_q), delta)
+    b = greedy_exchange(s, t, int(size_p), int(size_q), delta,
+                        vertex_sizes=uniform)
+    assert a.accepted == b.accepted
+    assert a.returned == b.returned

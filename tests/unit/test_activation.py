@@ -1,0 +1,94 @@
+"""Unit tests for activation work-queue and reentrancy semantics."""
+
+from repro.actor.activation import Activation, WorkItem, WorkKind
+from repro.actor.actor import Actor
+from repro.actor.ids import ActorId
+
+
+class ReentrantActor(Actor):
+    REENTRANT = True
+
+
+class SerialActor(Actor):
+    REENTRANT = False
+
+
+def make_activation(cls=ReentrantActor):
+    return Activation(ActorId("a", 1), cls())
+
+
+def start_item():
+    return WorkItem(WorkKind.START, compute=1.0, message=None)
+
+
+def resume_item():
+    return WorkItem(WorkKind.RESUME, compute=0.1, continuation=object())
+
+
+def test_fifo_when_reentrant():
+    act = make_activation()
+    a, b = start_item(), resume_item()
+    act.queue.extend([a, b])
+    assert act.next_eligible() is a
+    act.segment_running = True  # the silo sets this while a executes
+    assert act.next_eligible() is None
+    act.segment_running = False
+    assert act.next_eligible() is b
+
+
+def test_next_eligible_none_while_segment_running():
+    act = make_activation()
+    act.queue.append(start_item())
+    act.segment_running = True
+    assert act.next_eligible() is None
+
+
+def test_nonreentrant_blocks_new_starts_while_turn_open():
+    act = make_activation(SerialActor)
+    act.open_turns = 1
+    blocked_start = start_item()
+    resume = resume_item()
+    act.queue.extend([blocked_start, resume])
+    # The resume overtakes the blocked start.
+    assert act.next_eligible() is resume
+    act.segment_running = False
+    assert act.next_eligible() is None  # start still blocked
+    act.open_turns = 0
+    act.segment_running = False
+    assert act.next_eligible() is blocked_start
+
+
+def test_nonreentrant_allows_start_when_idle():
+    act = make_activation(SerialActor)
+    item = start_item()
+    act.queue.append(item)
+    assert act.next_eligible() is item
+
+
+def test_comm_counters_accumulate_and_drain():
+    act = make_activation()
+    peer = ActorId("b", 2)
+    act.record_communication(peer)
+    act.record_communication(peer, 2.5)
+    assert act.comm_counters[peer] == 3.5
+    drained = act.drain_counters()
+    assert drained == {peer: 3.5}
+    assert act.comm_counters == {}
+
+
+def test_quiescence_conditions():
+    act = make_activation()
+    assert act.quiescent
+    act.queue.append(start_item())
+    assert not act.quiescent
+    act.queue.clear()
+    act.segment_running = True
+    assert not act.quiescent
+    act.segment_running = False
+    act.open_turns = 1
+    assert not act.quiescent
+    act.open_turns = 0
+    act.pending_calls = 1
+    assert not act.quiescent
+    act.pending_calls = 0
+    assert act.quiescent

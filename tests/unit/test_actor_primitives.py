@@ -1,0 +1,108 @@
+"""Unit tests for actor identities, messages, calls, and the base class."""
+
+import pytest
+
+from repro.actor.actor import Actor, DEFAULT_COMPUTE
+from repro.actor.calls import All, Call, Sleep
+from repro.actor.ids import ActorId, ActorRef
+from repro.actor.messages import Message, MessageKind, next_call_id
+
+
+def test_refs_compare_by_identity():
+    a = ActorRef("player", 1)
+    b = ActorRef("player", 1)
+    c = ActorRef("player", 2)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != c
+    assert a != "player/1"
+
+
+def test_actor_id_str():
+    assert str(ActorId("game", 7)) == "game/7"
+
+
+def test_call_ids_unique_and_increasing():
+    ids = [next_call_id() for _ in range(100)]
+    assert len(set(ids)) == 100
+    assert ids == sorted(ids)
+
+
+def test_message_expects_reply():
+    call = Message(MessageKind.CALL, ActorId("a", 1))
+    oneway = Message(MessageKind.ONEWAY, ActorId("a", 1))
+    client = Message(MessageKind.CLIENT_REQUEST, ActorId("a", 1))
+    assert call.expects_reply
+    assert client.expects_reply
+    assert not oneway.expects_reply
+
+
+def test_make_response_links_call():
+    request = Message(
+        MessageKind.CALL, ActorId("callee", 1), method="m",
+        call_id=42, sender=ActorId("caller", 2), reply_to_server=3,
+        created_at=1.5,
+    )
+    response = request.make_response("result", size=64, server_id=9)
+    assert response.kind is MessageKind.RESPONSE
+    assert response.call_id == 42
+    assert response.reply_to_server == 3
+    assert response.result == "result"
+    assert response.sender == ActorId("callee", 1)
+    assert response.target == ActorId("caller", 2)
+    assert response.created_at == 1.5
+
+
+def test_call_defaults_response_size():
+    ref = ActorRef("a", 1)
+    call = Call(ref, "m", size=300)
+    assert call.response_size == 150
+    tiny = Call(ref, "m", size=1)
+    assert tiny.response_size == 64  # floor
+
+
+def test_all_requires_calls():
+    with pytest.raises(ValueError):
+        All([])
+
+
+def test_sleep_validation():
+    assert Sleep(0.5).duration == 0.5
+    with pytest.raises(ValueError):
+        Sleep(-1.0)
+
+
+class Worker(Actor):
+    COMPUTE = {"fast": 1e-6}
+    WAIT = {"slocking": 0.5}
+
+
+def test_compute_and_wait_cost_lookup():
+    assert Worker.compute_cost("fast") == 1e-6
+    assert Worker.compute_cost("other") == DEFAULT_COMPUTE
+    assert Worker.wait_cost("slocking") == 0.5
+    assert Worker.wait_cost("fast") == 0.0
+
+
+def test_actor_requires_activation_for_id():
+    w = Worker()
+    with pytest.raises(RuntimeError):
+        _ = w.id
+
+
+def test_state_capture_excludes_runtime_fields():
+    w = Worker()
+    w._bind(ActorId("worker", 1), server_id=0)
+    w.counter = 5
+    state = w.capture_state()
+    assert state == {"counter": 5}
+    fresh = Worker()
+    fresh.restore_state(state)
+    assert fresh.counter == 5
+
+
+def test_self_ref_round_trip():
+    w = Worker()
+    w._bind(ActorId("worker", 9), server_id=0)
+    assert w.self_ref().id == ActorId("worker", 9)
+    assert w.key == 9

@@ -1,0 +1,76 @@
+"""Unit tests for candidate-set selection and peer ranking (§4.2)."""
+
+from repro.core.partitioning.candidate import candidate_set, rank_peers
+from repro.core.partitioning.view import PartitionView
+
+
+def make_view(server_id, edges, locations, sizes):
+    return PartitionView(
+        server_id=server_id,
+        edges=edges,
+        locate=locations.get,
+        size=sizes.get(server_id, 0),
+        peer_sizes=sizes,
+    )
+
+
+def test_only_positive_scores_included():
+    edges = {
+        "good": {"r1": 5.0},            # score +5 toward server 1
+        "bad": {"local": 5.0},          # score -5 (local edge)
+        "neutral": {"elsewhere": 5.0},  # score 0 (third party)
+    }
+    locations = {"r1": 1, "local": 0, "elsewhere": 2}
+    view = make_view(0, edges, locations, {0: 3, 1: 0, 2: 1})
+    cands = candidate_set(view, 1, k=10)
+    assert [c.vertex for c in cands] == ["good"]
+    assert cands[0].score == 5.0
+
+
+def test_top_k_by_score():
+    edges = {f"v{i}": {"remote": float(i)} for i in range(1, 6)}
+    locations = {"remote": 1}
+    view = make_view(0, edges, locations, {0: 5, 1: 1})
+    cands = candidate_set(view, 1, k=2)
+    assert [c.vertex for c in cands] == ["v5", "v4"]
+
+
+def test_candidates_ship_edges_and_locations():
+    edges = {"v": {"r": 3.0, "l": 1.0}}
+    locations = {"r": 1, "l": 0}
+    view = make_view(0, edges, locations, {0: 1, 1: 1})
+    cands = candidate_set(view, 1, k=5)
+    assert cands[0].edges == {"r": 3.0, "l": 1.0}
+    # l is a local vertex of the view, so its location resolves to 0.
+    assert cands[0].endpoint_locations == {"r": 1, "l": 0}
+
+
+def test_local_vertices_resolve_to_own_server():
+    edges = {"v": {"u": 2.0}, "u": {"v": 2.0}}
+    view = make_view(0, edges, {}, {0: 2, 1: 0})
+    # u is local, so moving v to server 1 would LOSE the edge.
+    assert candidate_set(view, 1, k=5) == []
+
+
+def test_k_zero_or_negative_empty():
+    view = make_view(0, {"v": {"r": 1.0}}, {"r": 1}, {0: 1, 1: 0})
+    assert candidate_set(view, 1, k=0) == []
+
+
+def test_rank_peers_orders_by_total_score():
+    edges = {
+        "a": {"s1": 10.0},
+        "b": {"s2": 3.0},
+        "c": {"s2": 4.0},
+    }
+    locations = {"s1": 1, "s2": 2}
+    view = make_view(0, edges, locations, {0: 3, 1: 1, 2: 2})
+    proposals = rank_peers(view, k=5)
+    assert [p.peer for p in proposals] == [1, 2]
+    assert proposals[0].total_score == 10.0
+    assert proposals[1].total_score == 7.0
+
+
+def test_rank_peers_skips_empty_candidate_sets():
+    view = make_view(0, {"v": {"local": 1.0}}, {"local": 0}, {0: 2, 1: 5, 2: 5})
+    assert rank_peers(view, k=5) == []

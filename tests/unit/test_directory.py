@@ -1,0 +1,87 @@
+"""Unit tests for the placement directory and location caches."""
+
+import pytest
+
+from repro.actor.directory import Directory, LocationCache
+from repro.actor.ids import ActorId
+
+
+def aid(k):
+    return ActorId("a", k)
+
+
+def test_register_lookup_unregister():
+    d = Directory(3)
+    d.register(aid(1), 2)
+    assert d.lookup(aid(1)) == 2
+    assert aid(1) in d
+    assert d.unregister(aid(1)) == 2
+    assert d.lookup(aid(1)) is None
+    assert aid(1) not in d
+
+
+def test_double_register_rejected():
+    d = Directory(2)
+    d.register(aid(1), 0)
+    with pytest.raises(ValueError):
+        d.register(aid(1), 1)
+
+
+def test_census_tracks_counts():
+    d = Directory(3)
+    assert d.census() == {0: 0, 1: 0, 2: 0}
+    d.register(aid(1), 0)
+    d.register(aid(2), 0)
+    d.register(aid(3), 2)
+    assert d.census() == {0: 2, 1: 0, 2: 1}
+    assert d.count(0) == 2
+    d.unregister(aid(1))
+    assert d.census()[0] == 1
+    assert len(d) == 2
+
+
+def test_unregister_missing_raises():
+    d = Directory(2)
+    with pytest.raises(KeyError):
+        d.unregister(aid(99))
+
+
+def test_location_cache_hint_and_get():
+    c = LocationCache(capacity=10)
+    c.hint(aid(1), 3)
+    assert c.get(aid(1)) == 3
+    assert c.get(aid(2)) is None
+
+
+def test_location_cache_fifo_eviction():
+    c = LocationCache(capacity=2)
+    c.hint(aid(1), 0)
+    c.hint(aid(2), 0)
+    c.hint(aid(3), 0)  # evicts aid(1)
+    assert c.get(aid(1)) is None
+    assert c.get(aid(2)) == 0
+    assert c.get(aid(3)) == 0
+    assert len(c) == 2
+
+
+def test_location_cache_refresh_moves_to_back():
+    c = LocationCache(capacity=2)
+    c.hint(aid(1), 0)
+    c.hint(aid(2), 0)
+    c.hint(aid(1), 5)   # refresh: now aid(2) is oldest
+    c.hint(aid(3), 0)
+    assert c.get(aid(1)) == 5
+    assert c.get(aid(2)) is None
+
+
+def test_location_cache_forget():
+    c = LocationCache(capacity=4)
+    c.hint(aid(1), 0)
+    c.forget(aid(1))
+    assert c.get(aid(1)) is None
+    c.forget(aid(1))  # idempotent
+
+
+def test_location_cache_capacity_validation():
+    with pytest.raises(ValueError):
+        LocationCache(capacity=0)

@@ -1,0 +1,150 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, fired.append, "c")
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_equal_times_fire_fifo():
+    sim = Simulator()
+    fired = []
+    for name in "abcde":
+        sim.schedule(1.0, fired.append, name)
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [2.5]
+    assert sim.now == 2.5
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(5.0, fired.append, "late")
+    sim.run(until=2.0)
+    assert fired == ["early"]
+    assert sim.now == 2.0  # clock advanced to the horizon
+    sim.run(until=10.0)
+    assert fired == ["early", "late"]
+
+
+def test_callbacks_can_schedule_more_events():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 1)
+    sim.run()
+    assert fired == [1, 2, 3, 4, 5]
+    assert sim.now == 4.0
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run()
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_scheduling_in_the_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(1.0, lambda: None)
+
+
+def test_call_soon_runs_at_current_time_after_queued():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "first")
+
+    def at_one():
+        fired.append("second")
+        sim.call_soon(fired.append, "third")
+
+    sim.schedule(1.0, at_one)
+    sim.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_events_processed_counts_fired_only():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    cancelled = sim.schedule(2.0, lambda: None)
+    cancelled.cancel()
+    sim.run()
+    assert sim.events_processed == 1
+
+
+def test_pending_excludes_cancelled():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    ev = sim.schedule(2.0, lambda: None)
+    ev.cancel()
+    assert sim.pending() == 1
+
+
+def test_max_events_cap():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i), fired.append, i)
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def nested():
+        sim.run()
+
+    sim.schedule(1.0, nested)
+    with pytest.raises(SimulationError):
+        sim.run()

@@ -1,0 +1,95 @@
+"""Unit tests for runtime parameter estimation (§5.4)."""
+
+import pytest
+
+from repro.core.threads.estimator import (
+    MeasuredStage,
+    estimate_alpha,
+    estimate_stage_loads,
+    measure_windows,
+)
+from repro.seda.stage import StatsWindow
+
+
+def ms(name, lam, z, x, blocking=False):
+    return MeasuredStage(name=name, arrival_rate=lam, mean_z=z, mean_x=x,
+                         blocking=blocking)
+
+
+def test_alpha_from_pure_cpu_stages():
+    # S0 stages: z = x + r, so alpha = r/x.
+    measured = [
+        ms("a", 100.0, z=0.0012, x=0.001),          # r/x = 0.2
+        ms("b", 100.0, z=0.0024, x=0.002),          # r/x = 0.2
+        ms("w", 100.0, z=0.010, x=0.001, blocking=True),  # excluded
+    ]
+    assert estimate_alpha(measured) == pytest.approx(0.2)
+
+
+def test_alpha_zero_when_no_s0_stage_usable():
+    measured = [ms("w", 10.0, z=0.01, x=0.001, blocking=True)]
+    assert estimate_alpha(measured) == 0.0
+    assert estimate_alpha([ms("idle", 0.0, z=0.0, x=0.0)]) == 0.0
+
+
+def test_exact_recovery_of_s_and_beta():
+    """Synthetic case with consistent alpha: the estimator must recover
+    the true s_i and beta_i from (lambda, z, x) alone."""
+    alpha = 0.25
+    x_cpu, wait = 0.002, 0.006
+    z_pure = x_cpu * (1 + alpha)                 # S0 stage
+    z_block = x_cpu + wait + alpha * x_cpu       # blocking stage
+    measured = [
+        ms("pure", 500.0, z=z_pure, x=x_cpu),
+        ms("block", 300.0, z=z_block, x=x_cpu, blocking=True),
+    ]
+    loads = estimate_stage_loads(measured)
+    pure, block = loads
+    assert pure.service_rate_per_thread == pytest.approx(1.0 / x_cpu)
+    assert pure.cpu_fraction == pytest.approx(1.0)
+    assert block.service_rate_per_thread == pytest.approx(1.0 / (x_cpu + wait))
+    assert block.cpu_fraction == pytest.approx(x_cpu / (x_cpu + wait))
+
+
+def test_arrival_rates_passed_through():
+    loads = estimate_stage_loads([ms("a", 123.0, z=0.001, x=0.001)])
+    assert loads[0].arrival_rate == 123.0
+
+
+def test_idle_stage_gets_zero_load():
+    loads = estimate_stage_loads([ms("idle", 0.0, z=0.0, x=0.0)])
+    assert loads[0].arrival_rate == 0.0
+
+
+def test_alpha_overestimate_clamped():
+    """If the sampled z of a blocking stage is LESS than x(1+alpha) the
+    busy-time estimate would go below x; it must clamp at x."""
+    measured = [
+        ms("hot", 100.0, z=0.004, x=0.001),              # alpha = 3
+        ms("cool", 100.0, z=0.0011, x=0.001, blocking=True),
+    ]
+    loads = estimate_stage_loads(measured)
+    cool = loads[1]
+    assert cool.service_rate_per_thread <= 1.0 / 0.001 + 1e-9
+    assert 0 < cool.cpu_fraction <= 1.0
+
+
+def test_measure_windows_conversion():
+    windows = {
+        "recv": StatsWindow(elapsed=10.0, arrivals=1000, completions=990,
+                            mean_z=0.002, mean_x=0.001, mean_queue_wait=0.0,
+                            mean_ready=0.001),
+        "worker": StatsWindow(elapsed=10.0, arrivals=500, completions=500,
+                              mean_z=0.01, mean_x=0.002, mean_queue_wait=0.0,
+                              mean_ready=0.002),
+    }
+    measured = measure_windows(windows, blocking_stages=("worker",))
+    by_name = {m.name: m for m in measured}
+    assert by_name["recv"].arrival_rate == 100.0
+    assert not by_name["recv"].blocking
+    assert by_name["worker"].blocking
+
+
+def test_negative_measurements_rejected():
+    with pytest.raises(ValueError):
+        ms("bad", 1.0, z=-0.001, x=0.001)

@@ -1,0 +1,76 @@
+"""Unit tests for the ETW-style direct estimation mode (§5.4)."""
+
+import pytest
+
+from repro.core.threads.estimator import (
+    MeasuredStage,
+    estimate_stage_loads,
+    estimate_stage_loads_direct,
+    measure_windows,
+)
+from repro.seda.stage import StatsWindow
+
+
+def window(lam, z, x, w):
+    return StatsWindow(elapsed=1.0, arrivals=int(lam), completions=int(lam),
+                       mean_z=z, mean_x=x, mean_queue_wait=0.0,
+                       mean_ready=z - x - w, mean_wait=w)
+
+
+def test_direct_mode_recovers_exact_parameters():
+    windows = {
+        "pure": window(500, z=0.0025, x=0.002, w=0.0),
+        "io": window(300, z=0.0105, x=0.002, w=0.008),
+    }
+    measured = measure_windows(windows, blocking_stages=("io",),
+                               os_wait_tracing=True)
+    loads = estimate_stage_loads_direct(measured)
+    io = loads[1]
+    assert io.service_rate_per_thread == pytest.approx(1.0 / 0.010)
+    assert io.cpu_fraction == pytest.approx(0.2)
+    pure = loads[0]
+    assert pure.service_rate_per_thread == pytest.approx(1.0 / 0.002)
+    assert pure.cpu_fraction == pytest.approx(1.0)
+
+
+def test_direct_mode_requires_traced_waits():
+    measured = [MeasuredStage("io", 100.0, 0.01, 0.002, blocking=True)]
+    with pytest.raises(ValueError):
+        estimate_stage_loads_direct(measured)
+
+
+def test_direct_mode_idle_stage():
+    loads = estimate_stage_loads_direct(
+        [MeasuredStage("idle", 0.0, 0.0, 0.0, blocking=False)]
+    )
+    assert loads[0].arrival_rate == 0.0
+
+
+def test_measure_windows_hides_wait_by_default():
+    windows = {"io": window(10, z=0.01, x=0.002, w=0.008)}
+    default = measure_windows(windows, blocking_stages=("io",))
+    assert default[0].mean_wait is None
+    traced = measure_windows(windows, blocking_stages=("io",),
+                             os_wait_tracing=True)
+    assert traced[0].mean_wait == pytest.approx(0.008)
+
+
+def test_alpha_mode_approximates_direct_mode():
+    """With a consistent alpha, the inference-based estimate must agree
+    with the direct measurement (the paper's correctness argument)."""
+    alpha = 0.3
+    windows = {
+        "pure": window(500, z=0.002 * (1 + alpha), x=0.002, w=0.0),
+        "io": window(300, z=0.003 * (1 + alpha) + 0.009, x=0.003, w=0.009),
+    }
+    traced = measure_windows(windows, blocking_stages=("io",),
+                             os_wait_tracing=True)
+    direct = estimate_stage_loads_direct(traced)
+    inferred = estimate_stage_loads(
+        measure_windows(windows, blocking_stages=("io",))
+    )
+    for d, a in zip(direct, inferred):
+        assert a.service_rate_per_thread == pytest.approx(
+            d.service_rate_per_thread, rel=1e-6
+        )
+        assert a.cpu_fraction == pytest.approx(d.cpu_fraction, rel=1e-6)

@@ -1,0 +1,88 @@
+"""Unit tests for synthetic graph generators."""
+
+import random
+
+import pytest
+
+from repro.graph.generators import (
+    clustered_graph,
+    grid_graph,
+    power_law_graph,
+    random_graph,
+    ring_of_cliques,
+)
+
+
+def test_clustered_hub_and_spoke_structure():
+    g = clustered_graph(4, 8, intra_weight=10.0, inter_edges_per_cluster=0)
+    assert g.num_vertices == 32
+    # hub-and-spoke: 7 spokes per cluster
+    assert g.num_edges == 4 * 7
+    hub = 0
+    assert g.degree(hub) == 70.0
+
+
+def test_clustered_clique_mode():
+    g = clustered_graph(2, 4, intra_weight=1.0, inter_edges_per_cluster=0,
+                        hub_and_spoke=False)
+    assert g.num_edges == 2 * 6  # C(4,2) per cluster
+
+
+def test_clustered_inter_edges_connect_different_clusters():
+    rng = random.Random(3)
+    g = clustered_graph(5, 4, inter_edges_per_cluster=2, inter_weight=0.5, rng=rng)
+    inter = [
+        (u, v, w) for u, v, w in g.edges() if u // 4 != v // 4
+    ]
+    assert len(inter) >= 5  # some may collide/accumulate, but most exist
+    assert all(w >= 0.5 for _, _, w in inter)
+
+
+def test_ring_of_cliques_counts():
+    g = ring_of_cliques(4, 5, bridge_weight=1.0, clique_weight=5.0)
+    assert g.num_vertices == 20
+    assert g.num_edges == 4 * 10 + 4  # C(5,2) per clique + 4 bridges
+
+
+def test_random_graph_edge_count_and_weights():
+    g = random_graph(100, mean_degree=6.0, weight_range=(2.0, 3.0),
+                     rng=random.Random(1))
+    assert g.num_vertices == 100
+    assert g.num_edges == 300
+    assert all(2.0 <= w <= 3.0 for _, _, w in g.edges())
+
+
+def test_power_law_graph_has_hubs():
+    g = power_law_graph(500, attach=2, rng=random.Random(2))
+    assert g.num_vertices == 500
+    degrees = sorted((g.degree(v) for v in g.vertices()), reverse=True)
+    # preferential attachment: the top hub dwarfs the median
+    assert degrees[0] > 5 * degrees[len(degrees) // 2]
+
+
+def test_grid_graph_structure():
+    g = grid_graph(3, 4)
+    assert g.num_vertices == 12
+    # edges: 3*(4-1) horizontal + (3-1)*4 vertical
+    assert g.num_edges == 9 + 8
+    corner_degree = g.degree(0)
+    assert corner_degree == 2.0
+
+
+def test_generator_validation():
+    with pytest.raises(ValueError):
+        clustered_graph(0, 4)
+    with pytest.raises(ValueError):
+        ring_of_cliques(1, 5)
+    with pytest.raises(ValueError):
+        random_graph(1)
+    with pytest.raises(ValueError):
+        power_law_graph(2, attach=2)
+    with pytest.raises(ValueError):
+        grid_graph(0, 3)
+
+
+def test_generators_deterministic_with_seeded_rng():
+    a = random_graph(50, rng=random.Random(5))
+    b = random_graph(50, rng=random.Random(5))
+    assert sorted(a.edges()) == sorted(b.edges())

@@ -1,0 +1,54 @@
+"""Unit tests for the Ja-Be-Ja comparator."""
+
+import random
+from collections import Counter
+
+from repro.graph.generators import clustered_graph, ring_of_cliques
+from repro.graph.jabeja import jabeja_partition
+from repro.graph.quality import cut_cost
+
+
+def test_balance_preserved_exactly():
+    g = clustered_graph(8, 4, inter_edges_per_cluster=1, rng=random.Random(0))
+    result = jabeja_partition(g, 4, rounds=20, rng=random.Random(1))
+    sizes = Counter(result.assignment.values())
+    assert max(sizes.values()) - min(sizes.values()) <= 1  # round-robin start
+
+
+def test_respects_initial_color_multiset():
+    g = ring_of_cliques(4, 4)
+    initial = {v: (0 if v < 8 else 1) for v in g.vertices()}
+    result = jabeja_partition(g, 2, rounds=15, rng=random.Random(2),
+                              initial=initial)
+    sizes = Counter(result.assignment.values())
+    assert sizes[0] == 8 and sizes[1] == 8
+
+
+def test_cut_improves_over_random_start():
+    g = clustered_graph(12, 6, intra_weight=10.0, inter_edges_per_cluster=1,
+                        rng=random.Random(3))
+    rng = random.Random(4)
+    vertices = list(g.vertices())
+    rng.shuffle(vertices)
+    initial = {v: i % 4 for i, v in enumerate(vertices)}
+    before = cut_cost(g, initial)
+    result = jabeja_partition(g, 4, rounds=40, rng=random.Random(5),
+                              initial=initial)
+    after = cut_cost(g, result.assignment)
+    assert after < 0.6 * before
+    assert result.swaps > 0
+
+
+def test_swap_count_reported():
+    g = ring_of_cliques(4, 4)
+    result = jabeja_partition(g, 2, rounds=10, rng=random.Random(6))
+    assert result.rounds == 10
+    assert result.swaps >= 0
+
+
+def test_zero_rounds_returns_initial():
+    g = ring_of_cliques(4, 4)
+    initial = {v: v % 2 for v in g.vertices()}
+    result = jabeja_partition(g, 2, rounds=0, initial=initial)
+    assert result.assignment == initial
+    assert result.swaps == 0

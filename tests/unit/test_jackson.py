@@ -1,0 +1,66 @@
+"""Unit tests for the Jackson-network latency proxy (Eq. 1)."""
+
+import pytest
+
+from repro.queueing.jackson import StageLoad, jackson_latency, jackson_latency_with_penalty
+
+
+def test_single_stage_matches_mm1():
+    stage = StageLoad(arrival_rate=8.0, service_rate_per_thread=10.0)
+    # mu = 1 thread * 10 = 10; T = 1/(10-8) = 0.5
+    assert jackson_latency([stage], [1.0]) == pytest.approx(0.5)
+
+
+def test_weighted_average_over_stages():
+    stages = [
+        StageLoad(arrival_rate=10.0, service_rate_per_thread=20.0),
+        StageLoad(arrival_rate=30.0, service_rate_per_thread=20.0),
+    ]
+    threads = [1.0, 2.0]
+    expected = (10.0 / (20.0 - 10.0) + 30.0 / (40.0 - 30.0)) / 40.0
+    assert jackson_latency(stages, threads) == pytest.approx(expected)
+
+
+def test_infeasible_allocation_returns_inf():
+    stage = StageLoad(arrival_rate=10.0, service_rate_per_thread=5.0)
+    assert jackson_latency([stage], [2.0]) == float("inf")  # mu == lambda
+    assert jackson_latency([stage], [1.0]) == float("inf")
+
+
+def test_zero_traffic_zero_latency():
+    stage = StageLoad(arrival_rate=0.0, service_rate_per_thread=5.0)
+    assert jackson_latency([stage], [1.0]) == 0.0
+
+
+def test_penalty_added():
+    stage = StageLoad(arrival_rate=8.0, service_rate_per_thread=10.0)
+    base = jackson_latency([stage], [2.0])
+    assert jackson_latency_with_penalty([stage], [2.0], eta=0.1) == pytest.approx(
+        base + 0.2
+    )
+
+
+def test_penalty_not_added_to_infeasible():
+    stage = StageLoad(arrival_rate=10.0, service_rate_per_thread=5.0)
+    assert jackson_latency_with_penalty([stage], [1.0], eta=0.1) == float("inf")
+
+
+def test_more_threads_monotonically_lower_base_latency():
+    stage = StageLoad(arrival_rate=8.0, service_rate_per_thread=10.0)
+    lat = [jackson_latency([stage], [t]) for t in (1.0, 2.0, 4.0, 8.0)]
+    assert lat == sorted(lat, reverse=True)
+
+
+def test_stage_load_validation():
+    with pytest.raises(ValueError):
+        StageLoad(arrival_rate=-1.0, service_rate_per_thread=1.0)
+    with pytest.raises(ValueError):
+        StageLoad(arrival_rate=1.0, service_rate_per_thread=0.0)
+    with pytest.raises(ValueError):
+        StageLoad(arrival_rate=1.0, service_rate_per_thread=1.0, cpu_fraction=0.0)
+
+
+def test_length_mismatch_rejected():
+    stage = StageLoad(arrival_rate=1.0, service_rate_per_thread=10.0)
+    with pytest.raises(ValueError):
+        jackson_latency([stage], [1.0, 2.0])

@@ -1,0 +1,88 @@
+"""Unit tests for routed Jackson networks (traffic equations)."""
+
+import pytest
+
+from repro.queueing.network import JacksonNetwork, solve_traffic_equations
+
+
+def test_tandem_line_rates_equal_input():
+    # gamma into stage 0 only; 0 -> 1 -> 2 -> out.
+    routing = [
+        [0.0, 1.0, 0.0],
+        [0.0, 0.0, 1.0],
+        [0.0, 0.0, 0.0],
+    ]
+    lam = solve_traffic_equations([100.0, 0.0, 0.0], routing)
+    assert lam == pytest.approx([100.0, 100.0, 100.0])
+
+
+def test_branching_splits_traffic():
+    # worker output: 70% to server_sender, 30% to client_sender.
+    routing = [
+        [0.0, 0.7, 0.3],
+        [0.0, 0.0, 0.0],
+        [0.0, 0.0, 0.0],
+    ]
+    lam = solve_traffic_equations([1000.0, 0.0, 0.0], routing)
+    assert lam == pytest.approx([1000.0, 700.0, 300.0])
+
+
+def test_feedback_loop_amplifies():
+    # stage 0 feeds back to itself with prob 0.5: lambda = gamma/(1-0.5).
+    lam = solve_traffic_equations([50.0], [[0.5]])
+    assert lam == pytest.approx([100.0])
+
+
+def test_non_dissipative_rejected():
+    with pytest.raises(ValueError):
+        solve_traffic_equations([1.0], [[1.0]])  # nothing ever leaves
+
+
+def test_bad_shapes_and_values_rejected():
+    with pytest.raises(ValueError):
+        solve_traffic_equations([1.0, 2.0], [[0.0]])
+    with pytest.raises(ValueError):
+        solve_traffic_equations([1.0], [[-0.1]])
+    with pytest.raises(ValueError):
+        solve_traffic_equations([1.0, 0.0], [[0.6, 0.6], [0.0, 0.0]])
+
+
+def test_network_latency_matches_manual_eq1():
+    net = JacksonNetwork(
+        service_rates_per_thread=[500.0, 400.0],
+        gamma=[100.0, 0.0],
+        routing=[[0.0, 1.0], [0.0, 0.0]],
+        names=["recv", "work"],
+    )
+    # lambda = [100, 100]; with 1 thread each: T_i = 1/(mu - lam).
+    expected = (100 / (500 - 100) + 100 / (400 - 100)) / 200
+    assert net.latency([1.0, 1.0]) == pytest.approx(expected)
+    assert net.utilizations([1.0, 1.0]) == pytest.approx([0.2, 0.25])
+
+
+def test_orleans_server_topology():
+    """The Fig.-2 server: receiver -> worker -> {server,client} senders.
+    The server sender (full RPC serialization) is slower per thread than
+    the client sender, so shifting the split toward local traffic lowers
+    the Eq.-(1) delay."""
+    rates = [9000.0, 6000.0, 5800.0, 8000.0]
+
+    def build(remote_share):
+        return JacksonNetwork(
+            service_rates_per_thread=rates,
+            gamma=[6000.0, 0.0, 0.0, 0.0],
+            routing=[
+                [0.0, 1.0, 0.0, 0.0],
+                [0.0, 0.0, remote_share, 1.0 - remote_share],
+                [0.0, 0.0, 0.0, 0.0],
+                [0.0, 0.0, 0.0, 0.0],
+            ],
+            names=["receiver", "worker", "server_sender", "client_sender"],
+        )
+
+    remote = build(0.9)
+    assert remote.arrival_rates == pytest.approx(
+        [6000.0, 6000.0, 5400.0, 600.0])
+    local = build(0.1)
+    threads = [2.0, 2.0, 2.0, 2.0]
+    assert local.latency(threads) < remote.latency(threads)

@@ -1,0 +1,59 @@
+"""Unit tests for placement policies."""
+
+from collections import Counter
+
+from repro.actor.ids import ActorId
+from repro.actor.placement import (
+    HashPlacement,
+    PreferLocalPlacement,
+    RandomPlacement,
+    RoundRobinPlacement,
+)
+from repro.sim.rng import RngRegistry
+
+
+def test_random_placement_spreads_load():
+    policy = RandomPlacement(RngRegistry(0))
+    counts = Counter(
+        policy.choose(ActorId("a", i), calling_server=0, num_servers=4)
+        for i in range(4000)
+    )
+    assert set(counts) == {0, 1, 2, 3}
+    assert max(counts.values()) < 1.2 * min(counts.values())
+
+
+def test_random_placement_deterministic_per_seed():
+    a = RandomPlacement(RngRegistry(7))
+    b = RandomPlacement(RngRegistry(7))
+    ids = [ActorId("a", i) for i in range(50)]
+    assert [a.choose(i, 0, 8) for i in ids] == [b.choose(i, 0, 8) for i in ids]
+
+
+def test_hash_placement_stable_and_independent_of_caller():
+    policy = HashPlacement()
+    aid = ActorId("game", "room-42")
+    first = policy.choose(aid, calling_server=0, num_servers=5)
+    assert all(
+        policy.choose(aid, calling_server=c, num_servers=5) == first
+        for c in range(5)
+    )
+
+
+def test_hash_placement_spreads_keys():
+    policy = HashPlacement()
+    counts = Counter(
+        policy.choose(ActorId("a", i), 0, 4) for i in range(4000)
+    )
+    assert set(counts) == {0, 1, 2, 3}
+    assert max(counts.values()) < 1.3 * min(counts.values())
+
+
+def test_prefer_local_returns_caller():
+    policy = PreferLocalPlacement()
+    assert policy.choose(ActorId("a", 1), calling_server=3, num_servers=8) == 3
+
+
+def test_round_robin_rotates():
+    policy = RoundRobinPlacement()
+    picks = [policy.choose(ActorId("a", i), 0, 3) for i in range(6)]
+    assert picks == [0, 1, 2, 0, 1, 2]

@@ -1,0 +1,58 @@
+"""Unit tests for partition-quality metrics."""
+
+from repro.graph.comm_graph import CommGraph
+from repro.graph.quality import (
+    cut_cost,
+    is_balanced,
+    max_imbalance,
+    partition_sizes,
+    remote_fraction,
+)
+
+
+def triangle():
+    g = CommGraph()
+    g.add_edge("a", "b", 1.0)
+    g.add_edge("b", "c", 2.0)
+    g.add_edge("a", "c", 4.0)
+    return g
+
+
+def test_cut_cost_all_same_server_is_zero():
+    g = triangle()
+    assert cut_cost(g, {"a": 0, "b": 0, "c": 0}) == 0.0
+
+
+def test_cut_cost_counts_crossing_weights():
+    g = triangle()
+    # c alone: cuts (b,c)=2 and (a,c)=4.
+    assert cut_cost(g, {"a": 0, "b": 0, "c": 1}) == 6.0
+
+
+def test_partition_sizes():
+    sizes = partition_sizes({"a": 0, "b": 0, "c": 1})
+    assert sizes == {0: 2, 1: 1}
+
+
+def test_max_imbalance_counts_empty_servers():
+    assignment = {"a": 0, "b": 0, "c": 0}
+    assert max_imbalance(assignment, num_servers=2) == 3
+    assert max_imbalance(assignment, num_servers=1) == 0
+
+
+def test_is_balanced():
+    assignment = {"a": 0, "b": 1, "c": 0}
+    assert is_balanced(assignment, 2, delta=1)
+    assert not is_balanced(assignment, 2, delta=0)
+
+
+def test_remote_fraction():
+    g = triangle()
+    assert remote_fraction(g, {"a": 0, "b": 0, "c": 1}) == 6.0 / 7.0
+    assert remote_fraction(g, {"a": 0, "b": 0, "c": 0}) == 0.0
+
+
+def test_remote_fraction_empty_graph():
+    g = CommGraph()
+    g.add_vertex(1)
+    assert remote_fraction(g, {1: 0}) == 0.0

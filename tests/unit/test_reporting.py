@@ -1,0 +1,55 @@
+"""Unit tests for the bench table/heatmap renderers."""
+
+from repro.bench.reporting import banner, render_heatmap, render_table
+
+
+def test_banner_contains_title():
+    text = banner("Hello")
+    assert "Hello" in text
+    assert "=" in text
+
+
+def test_render_table_alignment_and_content():
+    text = render_table(
+        ["name", "value"],
+        [["alpha", 1.5], ["beta", 22.25]],
+        title="T",
+    )
+    lines = text.splitlines()
+    assert "T" in text
+    assert any("alpha" in line and "1.50" in line for line in lines)
+    assert any("beta" in line and "22.25" in line for line in lines)
+    # header separator present
+    assert any(set(line) <= {"-", "+"} for line in lines)
+
+
+def test_render_table_floatfmt():
+    text = render_table(["x"], [[3.14159]], floatfmt=".3f")
+    assert "3.142" in text
+
+
+def test_render_table_mixed_types():
+    text = render_table(["a", "b"], [["s", 7], [1.0, "t"]])
+    assert "s" in text and "7" in text and "t" in text
+
+
+def test_render_table_empty_rows():
+    text = render_table(["only", "headers"], [])
+    assert "only" in text and "headers" in text
+
+
+def test_render_heatmap_layout():
+    text = render_heatmap(
+        [2, 3], ["a", "b"], [[1.0, 2.0], [3.0, 4.5]],
+        title="H", row_title="rows", col_title="cols",
+    )
+    assert "H" in text
+    assert "rows" in text and "cols" in text
+    lines = text.splitlines()
+    assert any(line.strip().startswith("2") for line in lines)
+    assert "4.5" in text
+
+
+def test_render_heatmap_wide_values():
+    text = render_heatmap([1], [1], [[123456.789]], floatfmt=".2f")
+    assert "123456.79" in text

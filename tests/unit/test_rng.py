@@ -1,0 +1,72 @@
+"""Unit tests for deterministic RNG substreams."""
+
+import pytest
+
+from repro.sim.rng import RngRegistry, bounded_pareto, exponential
+
+
+def test_same_name_same_stream_object():
+    reg = RngRegistry(1)
+    assert reg.stream("a") is reg.stream("a")
+
+
+def test_streams_are_deterministic_across_registries():
+    a = RngRegistry(42).stream("workload")
+    b = RngRegistry(42).stream("workload")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_give_different_sequences():
+    reg = RngRegistry(42)
+    xs = [reg.stream("x").random() for _ in range(5)]
+    ys = [reg.stream("y").random() for _ in range(5)]
+    assert xs != ys
+
+
+def test_different_seeds_give_different_sequences():
+    a = RngRegistry(1).stream("s")
+    b = RngRegistry(2).stream("s")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_spawn_is_independent_of_parent_draws():
+    parent = RngRegistry(7)
+    child_before = parent.spawn("c").stream("s").random()
+    parent.stream("s").random()  # consume from the parent
+    child_after = RngRegistry(7).spawn("c").stream("s").random()
+    assert child_before == child_after
+
+
+def test_exponential_positive_and_mean_reasonable():
+    rng = RngRegistry(3).stream("exp")
+    samples = [exponential(rng, 10.0) for _ in range(20_000)]
+    assert all(s >= 0 for s in samples)
+    mean = sum(samples) / len(samples)
+    assert mean == pytest.approx(0.1, rel=0.05)
+
+
+def test_exponential_rejects_bad_rate():
+    rng = RngRegistry(0).stream("exp")
+    with pytest.raises(ValueError):
+        exponential(rng, 0.0)
+
+
+def test_bounded_pareto_within_bounds():
+    rng = RngRegistry(5).stream("pareto")
+    for _ in range(5_000):
+        v = bounded_pareto(rng, alpha=1.3, lo=128.0, hi=8192.0)
+        assert 128.0 <= v <= 8192.0
+
+
+def test_bounded_pareto_heavy_tail():
+    rng = RngRegistry(5).stream("pareto")
+    samples = [bounded_pareto(rng, 1.3, 1.0, 1000.0) for _ in range(20_000)]
+    mean = sum(samples) / len(samples)
+    median = sorted(samples)[len(samples) // 2]
+    assert mean > 2 * median  # heavy right tail
+
+
+def test_bounded_pareto_rejects_bad_bounds():
+    rng = RngRegistry(0).stream("p")
+    with pytest.raises(ValueError):
+        bounded_pareto(rng, 1.3, 10.0, 5.0)

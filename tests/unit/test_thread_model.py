@@ -1,0 +1,79 @@
+"""Unit tests for the thread-allocation problem model (§5.2–5.3)."""
+
+import math
+
+import pytest
+
+from repro.core.threads.model import ThreadAllocationProblem
+from repro.queueing.jackson import StageLoad
+
+
+def make_problem(loads, p=8, eta=1e-4):
+    return ThreadAllocationProblem(stages=loads, processors=p, eta=eta)
+
+
+def test_lambda_tot():
+    prob = make_problem([
+        StageLoad(10.0, 100.0),
+        StageLoad(30.0, 100.0),
+    ])
+    assert prob.lambda_tot == 40.0
+
+
+def test_cpu_demand_weighted_by_beta():
+    prob = make_problem([
+        StageLoad(100.0, 100.0, cpu_fraction=1.0),   # demand 1.0
+        StageLoad(100.0, 100.0, cpu_fraction=0.5),   # demand 0.5
+    ])
+    assert prob.cpu_demand() == pytest.approx(1.5)
+
+
+def test_feasibility():
+    assert make_problem([StageLoad(700.0, 100.0)], p=8).is_feasible()
+    assert not make_problem([StageLoad(900.0, 100.0)], p=8).is_feasible()
+
+
+def test_zeta_matches_formula():
+    loads = [StageLoad(50.0, 100.0), StageLoad(150.0, 100.0)]
+    prob = make_problem(loads, p=4)
+    headroom = 4 - (50 / 100 + 150 / 100)
+    numer = math.sqrt(50 / 100) + math.sqrt(150 / 100)
+    expected = (numer / headroom) ** 2 / 200.0
+    assert prob.zeta() == pytest.approx(expected)
+
+
+def test_zeta_infinite_when_overloaded():
+    prob = make_problem([StageLoad(900.0, 100.0)], p=8)
+    assert prob.zeta() == math.inf
+
+
+def test_zeta_zero_without_traffic():
+    prob = make_problem([StageLoad(0.0, 100.0)])
+    assert prob.zeta() == 0.0
+
+
+def test_objective_uses_penalty():
+    prob = make_problem([StageLoad(50.0, 100.0)], eta=0.01)
+    # t=1: latency = 1/(100-50)/1 weighted... single stage: (50/50)/50
+    base = (50.0 / (100.0 - 50.0)) / 50.0
+    assert prob.objective([1.0]) == pytest.approx(base + 0.01)
+
+
+def test_cpu_constraint_check():
+    prob = make_problem([StageLoad(50.0, 100.0, cpu_fraction=0.5)], p=2)
+    assert prob.satisfies_cpu_constraint([4.0])   # 2.0 <= 2
+    assert not prob.satisfies_cpu_constraint([4.1])
+
+
+def test_min_feasible_threads():
+    prob = make_problem([StageLoad(300.0, 100.0), StageLoad(50.0, 100.0)])
+    assert prob.min_feasible_threads() == [3.0, 0.5]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make_problem([], p=8)
+    with pytest.raises(ValueError):
+        make_problem([StageLoad(1.0, 1.0)], p=0)
+    with pytest.raises(ValueError):
+        ThreadAllocationProblem([StageLoad(1.0, 1.0)], processors=8, eta=0.0)

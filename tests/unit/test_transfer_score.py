@@ -1,0 +1,61 @@
+"""Unit tests for transfer scores (§4.2)."""
+
+import pytest
+
+from repro.core.partitioning.transfer_score import transfer_score
+
+
+def locate_from(mapping):
+    return mapping.get
+
+
+def test_positive_when_target_dominates():
+    neighbors = {"g": 10.0, "x": 2.0}
+    locations = {"g": 1, "x": 0}
+    # moving v from 0 to 1: gains the edge to g, loses the edge to x
+    assert transfer_score(neighbors, locate_from(locations), 0, 1) == 8.0
+
+
+def test_negative_when_local_edges_dominate():
+    neighbors = {"a": 5.0, "b": 5.0, "remote": 3.0}
+    locations = {"a": 0, "b": 0, "remote": 1}
+    assert transfer_score(neighbors, locate_from(locations), 0, 1) == -7.0
+
+
+def test_third_party_edges_ignored():
+    neighbors = {"elsewhere": 100.0}
+    locations = {"elsewhere": 7}
+    assert transfer_score(neighbors, locate_from(locations), 0, 1) == 0.0
+
+
+def test_unknown_locations_ignored():
+    neighbors = {"mystery": 50.0, "here": 1.0}
+    locations = {"here": 0}
+    assert transfer_score(neighbors, locate_from(locations), 0, 1) == -1.0
+
+
+def test_empty_neighbors_zero():
+    assert transfer_score({}, locate_from({}), 0, 1) == 0.0
+
+
+def test_same_source_target_rejected():
+    with pytest.raises(ValueError):
+        transfer_score({}, locate_from({}), 2, 2)
+
+
+def test_score_matches_cut_delta():
+    """Moving v changes the cut by exactly -R (when the view is exact)."""
+    from repro.graph.comm_graph import CommGraph
+    from repro.graph.quality import cut_cost
+
+    g = CommGraph()
+    g.add_edge("v", "a", 3.0)   # a on server 1
+    g.add_edge("v", "b", 2.0)   # b on server 0 (v's server)
+    g.add_edge("v", "c", 4.0)   # c on server 2 (third party)
+    g.add_edge("a", "b", 9.0)   # unaffected by v's move
+    assignment = {"v": 0, "a": 1, "b": 0, "c": 2}
+    before = cut_cost(g, assignment)
+    score = transfer_score(g.neighbors("v"), assignment.get, 0, 1)
+    assignment["v"] = 1
+    after = cut_cost(g, assignment)
+    assert before - after == pytest.approx(score)

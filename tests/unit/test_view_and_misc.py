@@ -1,0 +1,42 @@
+"""Unit tests: partition views, RNG helpers, and small odds and ends."""
+
+import pytest
+
+from repro.core.partitioning.view import PartitionView
+from repro.sim.rng import RngRegistry, poisson_process
+
+
+def test_view_local_vertices_resolve_locally_even_if_resolver_disagrees():
+    view = PartitionView(
+        server_id=3,
+        edges={"v": {"u": 1.0}},
+        locate=lambda vertex: 9,   # stale resolver says elsewhere
+        size=1,
+        peer_sizes={3: 1, 9: 5},
+    )
+    assert view.locate("v") == 3       # local knowledge wins
+    assert view.locate("u") == 9       # remote falls back to the resolver
+
+
+def test_view_unknown_location_is_none():
+    view = PartitionView(0, {}, lambda v: None, 0, {0: 0, 1: 0})
+    assert view.locate("mystery") is None
+
+
+def test_view_peers_excludes_self():
+    view = PartitionView(1, {}, lambda v: None, 4, {0: 3, 1: 4, 2: 5})
+    assert sorted(view.peers()) == [0, 2]
+
+
+def test_view_neighbors_default_empty():
+    view = PartitionView(0, {"v": {"u": 2.0}}, lambda v: None, 1, {0: 1})
+    assert view.neighbors("v") == {"u": 2.0}
+    assert view.neighbors("unknown") == {}
+
+
+def test_poisson_process_generates_positive_gaps():
+    rng = RngRegistry(4).stream("pp")
+    gen = poisson_process(rng, rate=100.0)
+    gaps = [next(gen) for _ in range(1000)]
+    assert all(g >= 0 for g in gaps)
+    assert sum(gaps) / len(gaps) == pytest.approx(0.01, rel=0.15)
