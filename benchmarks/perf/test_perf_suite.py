@@ -1,0 +1,49 @@
+"""Perf-regression harness: run the microbenchmark suite, print the
+table, and emit the machine-readable JSON document.
+
+Run with ``-s`` to see the table; set ``ACTOP_PERF_FULL=1`` for
+full-sized runs (the default here is smoke-sized so the suite stays
+minutes-fast).  The JSON is the artifact to paste into perf-PR
+descriptions; compare against a baseline produced on the same machine:
+
+    PYTHONPATH=src python -m repro perf --json before.json   # on main
+    PYTHONPATH=src python -m repro perf --json after.json    # on the PR
+"""
+
+import json
+import os
+
+from repro.bench import perf
+
+FULL = os.environ.get("ACTOP_PERF_FULL", "0") == "1"
+
+
+def test_perf_suite_smoke(capsys):
+    doc = perf.run_suite(smoke=not FULL, repeat=1)
+    assert doc["schema"] == 1
+    assert set(doc["benchmarks"]) == set(perf.BENCHMARKS)
+    for name, result in doc["benchmarks"].items():
+        assert result["units"] > 0, name
+        assert result["rate_per_sec"] > 0, name
+    # The document must round-trip as JSON (it is the PR artifact).
+    assert json.loads(perf.main_json(doc)) == doc
+    with capsys.disabled():
+        print()
+        print(perf.render_results(doc))
+
+
+def test_event_loop_throughput_floor():
+    """Perf regression tripwire: the optimized engine sustains well over
+    the seed engine's ~356K events/sec (measured at PR 1; the acceptance
+    bar was 1.5x = 534K).  The floor here is deliberately loose so slow
+    CI machines do not flake, while a return to seed-level throughput
+    still fails."""
+    result = perf.run_benchmark("event_loop", smoke=True, repeat=3)
+    assert result["rate_per_sec"] > 400_000
+
+
+def test_cancellation_storm_stays_compact():
+    result = perf.run_benchmark("cancellation", smoke=True, repeat=1)
+    # The benchmark reports the engine's final queue size; a leak of the
+    # 10k cancelled timers would show up here.
+    assert result["extras"]["final_queue_size"] < 1_000

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Optional, Type
 
-from ..bench.metrics import LatencyRecorder
+from ..bench.metrics import HistogramRecorder, LatencyRecorder
 from ..sim.engine import Simulator
 from ..sim.network import Network
 from ..sim.rng import RngRegistry
@@ -109,9 +109,12 @@ class ActorRuntime:
             self.sim.schedule(self.config.idle_collection_period,
                               self._idle_collection_tick)
 
-        # Cluster-wide measurements.
+        # Cluster-wide measurements.  The reservoir recorder is the exact
+        # (sorted) reference; the streaming histogram answers windowed
+        # percentile queries in O(buckets) for the samplers.
         self.client_latency = LatencyRecorder(reservoir=200_000)
         self.call_latency = LatencyRecorder(reservoir=200_000)
+        self.client_latency_hist = HistogramRecorder()
         self.msgs_local = 0
         self.msgs_remote = 0
         self.migrations_total = 0
@@ -241,6 +244,7 @@ class ActorRuntime:
             timer.cancel()
         latency = self.sim.now - response.created_at
         self.client_latency.record(latency)
+        self.client_latency_hist.record(latency)
         self.requests_completed += 1
         hook = self._client_hooks.pop(response.call_id, None)
         if hook is not None:
@@ -269,6 +273,7 @@ class ActorRuntime:
         """Discard warmup samples (benches call this at steady state)."""
         self.client_latency = LatencyRecorder(reservoir=200_000)
         self.call_latency = LatencyRecorder(reservoir=200_000)
+        self.client_latency_hist = HistogramRecorder()
 
     def record_migration(self) -> None:
         self.migrations_total += 1

@@ -321,7 +321,7 @@ class Silo:
                 issue_time=self.sim.now,
             )
             activation.pending_calls += 1
-            self.sim.schedule(yielded.duration, self._sleep_done, continuation)
+            self.sim.defer(yielded.duration, self._sleep_done, continuation)
             return
 
         if isinstance(yielded, Call):

@@ -5,7 +5,7 @@ the actor runtime, which itself uses :mod:`repro.bench.metrics`, and an
 eager import here would close that cycle.
 """
 
-from .metrics import LatencyRecorder, TimeSeries, percentile
+from .metrics import HistogramRecorder, LatencyRecorder, TimeSeries, percentile
 from .reporting import banner, render_heatmap, render_table
 
 __all__ = [
@@ -15,6 +15,7 @@ __all__ = [
     "HALO_RATE_FULL",
     "HaloExperiment",
     "HeartbeatExperiment",
+    "HistogramRecorder",
     "LatencyRecorder",
     "TimeSeries",
     "banner",

@@ -12,7 +12,7 @@ import math
 import random
 from typing import Iterable, Optional, Sequence
 
-__all__ = ["LatencyRecorder", "TimeSeries", "percentile"]
+__all__ = ["HistogramRecorder", "LatencyRecorder", "TimeSeries", "percentile"]
 
 
 def percentile(samples: Sequence[float], q: float) -> float:
@@ -103,9 +103,43 @@ class LatencyRecorder:
         return out
 
     def merge(self, other: "LatencyRecorder") -> None:
-        """Fold another recorder's samples into this one."""
-        for value in other._samples:
-            self.record(value)
+        """Fold another recorder into this one.
+
+        ``count`` / ``total`` / ``max_value`` stay exact.  The merged
+        reservoir is built by a weighted draw: each slot picks from one
+        side with probability proportional to that side's *underlying*
+        stream length, so the result is an (approximately) uniform sample
+        of the union stream.  Replaying the other reservoir through
+        :meth:`record` — the old behaviour — double-sampled the already
+        down-sampled reservoir and skewed percentiles toward whichever
+        side was merged last.
+        """
+        n1, n2 = self.count, other.count
+        if n2 == 0:
+            return
+        self.count = n1 + n2
+        self.total += other.total
+        if other.max_value > self.max_value:
+            self.max_value = other.max_value
+        s1, s2 = self._samples, other._samples
+        if n1 == 0:
+            self._samples = list(s2)
+            if self._reservoir is not None and len(self._samples) > self._reservoir:
+                self._samples = self._rng.sample(self._samples, self._reservoir)
+            return
+        available = len(s1) + len(s2)
+        target = available if self._reservoir is None else min(self._reservoir, available)
+        # How many of the merged slots come from self's stream: binomial
+        # draw with p = n1/(n1+n2), clamped so both sides can supply their
+        # share.  When neither side was down-sampled the clamp forces
+        # take1 == len(s1) and the merge is exact.
+        p = n1 / (n1 + n2)
+        rng = self._rng
+        take1 = sum(1 for _ in range(target) if rng.random() < p)
+        take1 = max(target - len(s2), min(take1, len(s1)))
+        merged = rng.sample(s1, take1) + rng.sample(s2, target - take1)
+        rng.shuffle(merged)  # keep future algorithm-R replacement uniform
+        self._samples = merged
 
     def summary(self) -> dict[str, float]:
         """The row shape the paper's tables use."""
@@ -118,6 +152,165 @@ class LatencyRecorder:
             "p95": self.p95,
             "p99": self.p99,
         }
+
+
+class HistogramRecorder:
+    """Mergeable log-bucketed streaming histogram (HDR-histogram style).
+
+    Values are counted in geometrically spaced buckets: bucket ``i`` covers
+    ``[min_value * g**(i-1), min_value * g**i)`` with growth factor
+    ``g = 1 + max_relative_error``.  That makes :meth:`record` O(1) (one
+    ``log`` and a dict increment), quantiles O(buckets), and memory
+    proportional to the *dynamic range* of the data rather than the sample
+    count — unlike :class:`LatencyRecorder`, which keeps (a reservoir of)
+    raw samples and sorts them per percentile query.
+
+    Two histograms with the same parameters merge exactly (bucket counts
+    add), so per-silo or per-window histograms can be combined without
+    bias; merge is associative and commutative on counts.
+
+    Args:
+        max_relative_error: bucket width as a fraction of the value;
+            quantiles are accurate to within this relative error
+            (default 1%).
+        min_value: smallest distinguishable value; everything in
+            ``[0, min_value)`` lands in the underflow bucket 0.
+    """
+
+    def __init__(self, max_relative_error: float = 0.01, min_value: float = 1e-7):
+        if not 0 < max_relative_error < 1:
+            raise ValueError("max_relative_error must be in (0, 1)")
+        if min_value <= 0:
+            raise ValueError("min_value must be positive")
+        self.max_relative_error = max_relative_error
+        self.min_value = min_value
+        self._growth = 1.0 + max_relative_error
+        self._inv_log_g = 1.0 / math.log(self._growth)
+        self._log_min = math.log(min_value)
+        self._buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.max_value = 0.0
+        self.min_seen = math.inf
+
+    # ------------------------------------------------------------------
+    def record(self, value: float) -> None:
+        """O(1): bucket the value and bump exact count/total/extrema."""
+        if value < 0:
+            raise ValueError(f"negative value {value}")
+        self.count += 1
+        self.total += value
+        if value > self.max_value:
+            self.max_value = value
+        if value < self.min_seen:
+            self.min_seen = value
+        if value < self.min_value:
+            index = 0
+        else:
+            index = 1 + int((math.log(value) - self._log_min) * self._inv_log_g)
+        buckets = self._buckets
+        buckets[index] = buckets.get(index, 0) + 1
+
+    def _bucket_mid(self, index: int) -> float:
+        if index <= 0:
+            return self.min_value / 2.0
+        lower = self.min_value * self._growth ** (index - 1)
+        return lower * (1.0 + self._growth) / 2.0
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self._buckets)
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile (q in [0, 100]) to within one bucket width."""
+        return self._percentile_of(self._buckets, self.count, q)
+
+    def _percentile_of(self, buckets: dict[int, int], count: int, q: float) -> float:
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile out of range: {q}")
+        if count <= 0:
+            raise ValueError("no samples")
+        rank = (q / 100.0) * count
+        cumulative = 0
+        result = 0.0
+        for index in sorted(buckets):
+            cumulative += buckets[index]
+            if cumulative >= rank:
+                result = self._bucket_mid(index)
+                break
+        # Clamp to the observed range so extreme quantiles never report
+        # values outside the data.
+        lo = self.min_seen if self.min_seen is not math.inf else 0.0
+        return min(max(result, lo), self.max_value)
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def summary(self) -> dict[str, float]:
+        """Same row shape as :meth:`LatencyRecorder.summary`."""
+        if not self.count:
+            return {"count": 0, "mean": 0.0, "median": 0.0, "p95": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "median": self.median,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+    # ------------------------------------------------------------------
+    # Merging & windowed queries
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "HistogramRecorder") -> None:
+        if (other.max_relative_error != self.max_relative_error
+                or other.min_value != self.min_value):
+            raise ValueError("cannot merge histograms with different bucketing")
+
+    def merge(self, other: "HistogramRecorder") -> None:
+        """Exact merge: bucket counts add; count/total/extrema stay exact."""
+        self._check_compatible(other)
+        buckets = self._buckets
+        for index, c in other._buckets.items():
+            buckets[index] = buckets.get(index, 0) + c
+        self.count += other.count
+        self.total += other.total
+        if other.max_value > self.max_value:
+            self.max_value = other.max_value
+        if other.min_seen < self.min_seen:
+            self.min_seen = other.min_seen
+
+    def snapshot(self) -> tuple[int, dict[int, int]]:
+        """Cheap copy of (count, bucket counts) for windowed diffs."""
+        return self.count, dict(self._buckets)
+
+    def percentile_since(self, snapshot: tuple[int, dict[int, int]], q: float) -> float:
+        """Percentile of only the values recorded after ``snapshot``.
+
+        This is what makes per-window percentile *time series* affordable:
+        the sampler snapshots the histogram each tick and diffs counts,
+        instead of sorting a window's worth of raw samples.
+        """
+        count0, buckets0 = snapshot
+        delta = {}
+        for index, c in self._buckets.items():
+            d = c - buckets0.get(index, 0)
+            if d > 0:
+                delta[index] = d
+        return self._percentile_of(delta, self.count - count0, q)
 
 
 class TimeSeries:

@@ -1,0 +1,247 @@
+"""Performance microbenchmarks behind ``repro perf``.
+
+Every perf-focused PR should land with before/after numbers from this
+suite.  It measures the three layers of the simulation hot path in
+isolation plus end-to-end:
+
+* ``event_loop``       — raw engine throughput: chains of self-
+  rescheduling callbacks (schedule + heap pop per event).
+* ``cancellation``     — the timeout-timer storm: every fired event also
+  schedules-and-cancels a far-future timer, the pattern the actor
+  server's per-call timeouts produce.  Exercises slab cancellation and
+  heap self-compaction.
+* ``stage_pipeline``   — the SEDA stage -> CpuPool -> stage work-item
+  cycle (two stages over a shared 8-core pool).
+* ``histogram``        — streaming :class:`HistogramRecorder` record
+  throughput vs the reservoir recorder.
+* ``halo_end_to_end``  — a small seeded Halo cluster; reports simulator
+  events per wall-clock second, the number the Fig.-10 benches are
+  bounded by.
+
+All benchmarks are deterministic in *simulated* behaviour (fixed seeds);
+only wall-clock throughput varies between machines.  Results are emitted
+as machine-readable JSON (see :func:`run_suite`) so successive runs can
+be diffed:
+
+    PYTHONPATH=src python -m repro perf --json perf.json
+    PYTHONPATH=src python -m repro perf --smoke        # CI-sized run
+
+An opt-in cProfile hook (``--profile DIR``) dumps per-benchmark pstats
+files for drill-down.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import platform
+import sys
+import time
+from typing import Any, Callable, Optional
+
+from ..sim.engine import Simulator
+
+__all__ = ["BENCHMARKS", "run_benchmark", "run_suite", "render_results"]
+
+
+# ----------------------------------------------------------------------
+# Individual benchmarks.  Each returns (units_done, wall_seconds, extras).
+# ----------------------------------------------------------------------
+def bench_event_loop(events: int = 200_000, chains: int = 100) -> tuple[int, float, dict]:
+    sim = Simulator()
+    fired = [0]
+
+    def tick(i: int) -> None:
+        fired[0] += 1
+        if fired[0] < events:
+            sim.schedule(0.001, tick, i)
+
+    for i in range(chains):
+        sim.schedule(0.001 * (i + 1), tick, i)
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return fired[0], elapsed, {"chains": chains}
+
+
+def bench_cancellation(events: int = 100_000) -> tuple[int, float, dict]:
+    sim = Simulator()
+    fired = [0]
+    noop = lambda: None  # noqa: E731
+
+    def tick() -> None:
+        fired[0] += 1
+        timer = sim.schedule(10.0, noop)  # per-call timeout timer ...
+        timer.cancel()                    # ... almost always cancelled
+        if fired[0] < events:
+            sim.schedule(0.001, tick)
+
+    sim.schedule(0.0, tick)
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return fired[0], elapsed, {"final_queue_size": sim.queue_size()}
+
+
+def bench_stage_pipeline(items: int = 100_000) -> tuple[int, float, dict]:
+    from ..seda.stage import Stage
+    from ..sim.cpu import CpuPool
+
+    sim = Simulator()
+    cpu = CpuPool(sim, processors=8)
+    first = Stage(sim, cpu, "first", threads=4)
+    second = Stage(sim, cpu, "second", threads=4)
+    done = [0]
+
+    def forward(event) -> None:
+        second.submit(1e-5, finish)
+
+    def finish(event) -> None:
+        done[0] += 1
+        if done[0] < items:
+            first.submit(1e-5, forward)
+
+    for _ in range(32):
+        first.submit(1e-5, forward)
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return done[0], elapsed, {"stages": 2, "processors": 8}
+
+
+def bench_histogram(samples: int = 500_000) -> tuple[int, float, dict]:
+    from .metrics import HistogramRecorder
+
+    hist = HistogramRecorder()
+    # Deterministic pseudo-latencies spanning ~3 decades.
+    values = [1e-4 * (1.0 + (i * 2654435761 % 1000) / 100.0) for i in range(4096)]
+    start = time.perf_counter()
+    record = hist.record
+    for i in range(samples):
+        record(values[i & 4095])
+    elapsed = time.perf_counter() - start
+    return samples, elapsed, {
+        "buckets": hist.num_buckets,
+        "p99": hist.p99,
+    }
+
+
+def bench_halo_end_to_end(
+    players: int = 200, servers: int = 4, horizon: float = 20.0
+) -> tuple[int, float, dict]:
+    from .harness import HaloExperiment
+
+    exp = HaloExperiment(players=players, num_servers=servers, seed=1)
+    exp.workload.start()
+    start = time.perf_counter()
+    exp.runtime.run(until=horizon)
+    elapsed = time.perf_counter() - start
+    events = exp.runtime.sim.events_processed
+    return events, elapsed, {
+        "players": players,
+        "servers": servers,
+        "requests": exp.runtime.requests_completed,
+    }
+
+
+# name -> (callable, full kwargs, smoke kwargs)
+BENCHMARKS: dict[str, tuple[Callable[..., tuple[int, float, dict]], dict, dict]] = {
+    "event_loop": (bench_event_loop, {"events": 200_000}, {"events": 20_000}),
+    "cancellation": (bench_cancellation, {"events": 100_000}, {"events": 10_000}),
+    "stage_pipeline": (bench_stage_pipeline, {"items": 100_000}, {"items": 10_000}),
+    "histogram": (bench_histogram, {"samples": 500_000}, {"samples": 50_000}),
+    "halo_end_to_end": (
+        bench_halo_end_to_end,
+        {"players": 200, "horizon": 20.0},
+        {"players": 100, "horizon": 5.0},
+    ),
+}
+
+
+def run_benchmark(
+    name: str,
+    smoke: bool = False,
+    repeat: int = 3,
+    profile_dir: Optional[str] = None,
+) -> dict[str, Any]:
+    """Run one benchmark ``repeat`` times; report the best rate.
+
+    Best-of-N is the standard microbenchmark reduction: it filters out
+    scheduler noise, which only ever slows a run down.
+    """
+    fn, full_kwargs, smoke_kwargs = BENCHMARKS[name]
+    kwargs = smoke_kwargs if smoke else full_kwargs
+    runs = []
+    extras: dict = {}
+    for i in range(max(1, repeat)):
+        if profile_dir is not None and i == 0:
+            profiler = cProfile.Profile()
+            profiler.enable()
+            units, seconds, extras = fn(**kwargs)
+            profiler.disable()
+            import os
+
+            os.makedirs(profile_dir, exist_ok=True)
+            profiler.dump_stats(os.path.join(profile_dir, f"{name}.pstats"))
+        else:
+            units, seconds, extras = fn(**kwargs)
+        runs.append({"units": units, "seconds": seconds,
+                     "rate": units / seconds if seconds > 0 else 0.0})
+    best = max(runs, key=lambda r: r["rate"])
+    return {
+        "name": name,
+        "params": kwargs,
+        "repeat": len(runs),
+        "units": best["units"],
+        "seconds": round(best["seconds"], 6),
+        "rate_per_sec": round(best["rate"], 1),
+        "all_rates_per_sec": [round(r["rate"], 1) for r in runs],
+        "extras": extras,
+    }
+
+
+def run_suite(
+    smoke: bool = False,
+    repeat: int = 3,
+    only: Optional[list[str]] = None,
+    profile_dir: Optional[str] = None,
+) -> dict[str, Any]:
+    """Run the whole suite; returns a JSON-serializable result document."""
+    names = list(BENCHMARKS) if not only else [n for n in only if n in BENCHMARKS]
+    if only:
+        unknown = set(only) - set(BENCHMARKS)
+        if unknown:
+            raise ValueError(f"unknown benchmark(s): {sorted(unknown)}")
+    results = [run_benchmark(n, smoke=smoke, repeat=repeat, profile_dir=profile_dir)
+               for n in names]
+    return {
+        "schema": 1,
+        "mode": "smoke" if smoke else "full",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "benchmarks": {r["name"]: r for r in results},
+    }
+
+
+def render_results(doc: dict[str, Any]) -> str:
+    """Human-readable companion to the JSON document."""
+    from .reporting import render_table
+
+    rows = []
+    for name, r in doc["benchmarks"].items():
+        rows.append([
+            name,
+            f"{r['units']:,}",
+            r["seconds"],
+            f"{r['rate_per_sec']:,.0f}",
+        ])
+    return render_table(
+        ["benchmark", "units", "best seconds", "units/sec"],
+        rows,
+        title=f"repro perf ({doc['mode']}) — python {doc['python']}",
+        floatfmt=".4f",
+    )
+
+
+def main_json(doc: dict[str, Any]) -> str:
+    return json.dumps(doc, indent=2, sort_keys=True)

@@ -1,11 +1,13 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands expose the main experiment drivers without writing any
+Four subcommands expose the main experiment drivers without writing any
 code:
 
 * ``halo``       — the cluster workload A/B (random vs ActOp), §6.1-style;
 * ``heartbeat``  — the single-server thread-allocation experiment, §6.2;
-* ``partition``  — offline partitioner comparison on a synthetic graph.
+* ``partition``  — offline partitioner comparison on a synthetic graph;
+* ``perf``       — simulation-core microbenchmarks with JSON output
+  (see :mod:`repro.bench.perf`); every perf PR lands with these numbers.
 
 Each prints a result table to stdout and exits 0; they are smoke-level
 entry points (the full reproduction lives in ``benchmarks/``).
@@ -20,6 +22,7 @@ import time
 from typing import Optional, Sequence
 
 from . import __version__
+from .bench import perf as perf_suite
 from .bench.harness import HaloExperiment, HeartbeatExperiment, improvement
 from .bench.reporting import render_table
 from .core.partitioning.offline import OfflinePartitioner
@@ -60,6 +63,21 @@ def build_parser() -> argparse.ArgumentParser:
     hb.add_argument("--io-wait", type=float, default=0.0,
                     help="synchronous blocking seconds per beat")
     hb.add_argument("--seed", type=int, default=3)
+
+    perf = sub.add_parser("perf", help="simulation-core microbenchmarks")
+    perf.add_argument("--smoke", action="store_true",
+                      help="CI-sized quick run (seconds, not minutes)")
+    perf.add_argument("--repeat", type=int, default=3,
+                      help="runs per benchmark; best rate is reported")
+    perf.add_argument("--only", nargs="+", metavar="NAME",
+                      choices=sorted(perf_suite.BENCHMARKS),
+                      help="run only the named benchmarks "
+                           f"(choices: {', '.join(sorted(perf_suite.BENCHMARKS))})")
+    perf.add_argument("--json", dest="json_path", metavar="PATH",
+                      help="write the JSON document here ('-' for stdout)")
+    perf.add_argument("--profile", dest="profile_dir", metavar="DIR",
+                      help="opt-in cProfile: dump per-benchmark .pstats "
+                           "files into DIR (profiles the first repeat)")
 
     part = sub.add_parser("partition", help="offline partitioner comparison")
     part.add_argument("--graph", choices=("clustered", "powerlaw", "random"),
@@ -185,6 +203,35 @@ def _run_partition(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_perf(args: argparse.Namespace) -> int:
+    from .bench import perf
+
+    doc = perf.run_suite(
+        smoke=args.smoke,
+        repeat=args.repeat,
+        only=args.only,
+        profile_dir=args.profile_dir,
+    )
+    if args.json_path == "-":
+        # Keep stdout pure JSON so the output can be piped; the human
+        # table still reaches the terminal via stderr.
+        print(perf.render_results(doc), file=sys.stderr)
+        if args.profile_dir:
+            print(f"cProfile stats in {args.profile_dir}/<benchmark>.pstats "
+                  f"(inspect with python -m pstats)", file=sys.stderr)
+        print(perf.main_json(doc))
+        return 0
+    print(perf.render_results(doc))
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            fh.write(perf.main_json(doc) + "\n")
+        print(f"\nJSON written to {args.json_path}")
+    if args.profile_dir:
+        print(f"cProfile stats in {args.profile_dir}/<benchmark>.pstats "
+              f"(inspect with python -m pstats)")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "halo":
@@ -193,6 +240,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_heartbeat(args)
     if args.command == "partition":
         return _run_partition(args)
+    if args.command == "perf":
+        return _run_perf(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -112,6 +112,11 @@ class SpaceSaving(Generic[K]):
         Exponential decay lets the summary track *rates* on a changing
         graph (§4.1's "rapidly time-varying actor graphs") instead of
         lifetime totals: old edges fade, freeing room for new ones.
+
+        Scaling every heap entry by the same positive factor preserves
+        both the heap invariant and the live/stale distinction (a heap
+        count matches its entry's count after scaling iff it matched
+        before), so no rebuild — and no O(n) heapify — is needed.
         """
         if not 0 < factor <= 1:
             raise ValueError("decay factor must be in (0, 1]")
@@ -120,10 +125,20 @@ class SpaceSaving(Generic[K]):
         for entry in self._entries.values():
             entry[0] *= factor
             entry[1] *= factor
+        self._heap = [(count * factor, key) for count, key in self._heap]
         self.total_weight *= factor
-        self._rebuild_heap()
 
     def forget(self, key: K) -> None:
-        """Drop a key (e.g. an actor that was migrated away)."""
+        """Drop a key (e.g. an actor that was migrated away).  O(1).
+
+        The key's heap entries become stale and are skipped by
+        :meth:`_pop_min` / discarded at the next threshold rebuild —
+        the same lazy machinery that absorbs count updates.  (Migration-
+        heavy runs call ``forget`` once per moved actor per fold, so an
+        eager rebuild here was quadratic in the migration rate.)
+        """
         if self._entries.pop(key, None) is not None:
-            self._rebuild_heap()
+            # Safety valve: if forgets have made the heap mostly stale
+            # without intervening offers, compact it here.
+            if len(self._heap) > max(64, 4 * len(self._entries)):
+                self._rebuild_heap()

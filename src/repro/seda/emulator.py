@@ -101,7 +101,7 @@ class SedaEmulator:
         if self._stopped:
             return
         gap = self._arrival_rng.expovariate(self.arrival_rate)
-        self.sim.schedule(gap, self._arrive)
+        self.sim.defer(gap, self._arrive)
 
     def _arrive(self) -> None:
         self._schedule_arrival()

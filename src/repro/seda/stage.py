@@ -228,32 +228,43 @@ class Stage:
         return event
 
     def _dispatch(self) -> None:
-        while self._queue and self._busy < self._threads:
+        queue = self._queue
+        if not queue or self._busy >= self._threads:
+            return
+        now = self.sim.now
+        submit = self.cpu.submit
+        while queue and self._busy < self._threads:
             self._busy += 1
-            event = self._queue.popleft()
-            event.dispatch_time = self.sim.now
-            self.cpu.submit(event.compute, self._compute_done, event)
+            event = queue.popleft()
+            event.dispatch_time = now
+            submit(event.compute, self._compute_done, event)
 
     def _compute_done(self, burst: CpuBurst, event: StageEvent) -> None:
         event.grant_time = burst.grant_time
         event.compute_done_time = self.sim.now
         if event.wait > 0:
             # Blocking wait: the thread is held but the core is released.
-            self.sim.schedule(event.wait, self._complete, event)
+            self.sim.defer(event.wait, self._complete, event)
         else:
             self._complete(event)
 
     def _complete(self, event: StageEvent) -> None:
-        event.complete_time = self.sim.now
+        now = self.sim.now
+        event.complete_time = now
+        # Inlined per-event breakdown (the property forms are one Python
+        # call each; this method runs once per work item).
+        dispatch_time = event.dispatch_time
+        grant_time = event.grant_time
         st = self.stats
         st.completions += 1
-        st.sum_z += event.wallclock
-        st.sum_x += event.cpu_time
-        st.sum_queue_wait += event.queue_wait
-        st.sum_ready += event.ready_time
+        st.sum_z += now - dispatch_time
+        st.sum_x += event.compute_done_time - grant_time
+        st.sum_queue_wait += dispatch_time - event.enqueue_time
+        st.sum_ready += grant_time - dispatch_time
         st.sum_wait += event.wait
         self._busy -= 1
-        self._dispatch()
+        if self._queue:
+            self._dispatch()
         if self.tracer is not None:
             self.tracer(self, event)
         event.callback(event, *event.args)

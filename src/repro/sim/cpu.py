@@ -127,18 +127,25 @@ class CpuPool:
 
     def _grant(self, burst: CpuBurst) -> None:
         self._free -= 1
-        burst.grant_time = self.sim.now
-        burst.inflated = burst.compute * self.inflation() + self.dispatch_overhead
-        self.sim.schedule(burst.inflated, self._finish, burst)
+        now = self.sim.now
+        burst.grant_time = now
+        # Inline inflation(): this runs once per burst.
+        excess = self.registered_threads - self.processors
+        factor = 1.0 + self.switch_factor * excess if excess > 0 else 1.0
+        inflated = burst.compute * factor + self.dispatch_overhead
+        burst.inflated = inflated
+        self.sim.defer(inflated, self._finish, burst)
 
     def _finish(self, burst: CpuBurst) -> None:
-        burst.finish_time = self.sim.now
+        now = self.sim.now
+        burst.finish_time = now
         self.busy_time += burst.inflated
-        self.ready_time_total += burst.ready_time
+        self.ready_time_total += burst.grant_time - burst.submit_time
         self.bursts_completed += 1
         self._free += 1
-        if self._queue:
-            self._grant(self._queue.popleft())
+        queue = self._queue
+        if queue:
+            self._grant(queue.popleft())
         burst.callback(burst, *burst.args)
 
     # ------------------------------------------------------------------

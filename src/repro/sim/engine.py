@@ -2,20 +2,40 @@
 
 Everything in the reproduction — SEDA servers, the CPU scheduler, the
 network, the actor runtime — is driven by one :class:`Simulator` instance.
-The engine is deliberately small: a binary heap of timestamped callbacks
-with deterministic FIFO tie-breaking for events scheduled at the same
-instant.  Determinism matters because the paper's algorithms (partitioning
-rounds, controller periods) are sensitive to ordering, and reproducible
-runs are what make the benchmark tables comparable across machines.
+Determinism matters because the paper's algorithms (partitioning rounds,
+controller periods) are sensitive to ordering, and reproducible runs are
+what make the benchmark tables comparable across machines.  Events fire
+in ``(time, seq)`` order: timestamp first, then FIFO insertion order for
+events scheduled at the same instant.
+
+The engine is the hot path of every experiment, so its internals are
+organised for throughput rather than elegance:
+
+* **Tuple heap + slab.**  The heap holds bare ``(time, seq)`` tuples,
+  which CPython compares in C — no Python-level ``__lt__`` per sift step.
+  Callbacks live in a slab (``dict`` keyed by ``seq``); cancellation is
+  an O(1) slab pop, and :meth:`pending` is an O(1) ``len`` of the slab.
+* **Same-instant FIFO fast path.**  :meth:`call_soon` (and ``at(now)``)
+  append to a deque instead of paying two O(log n) heap operations; the
+  run loop merges the deque with the heap by ``(time, seq)`` so ordering
+  is bit-for-bit identical to a pure-heap engine.
+* **Self-compacting heap.**  Cancelled entries are skipped lazily when
+  popped, but when they outnumber live entries (e.g. the per-call timeout
+  timers that the actor server schedules and almost always cancels) the
+  queues are rebuilt with only live entries, bounding memory and pop cost
+  under cancellation-heavy load.
+* **Handle-free scheduling.**  :meth:`defer` is :meth:`schedule` without
+  the :class:`Event` cancellation handle, for internal hot paths that
+  never cancel (CPU burst completions, stage wake-ups, network delivery).
 
 Time is a float in **seconds** of simulated time.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import math
+from collections import deque
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
 
 __all__ = ["Event", "Simulator", "SimulationError"]
@@ -26,28 +46,30 @@ class SimulationError(RuntimeError):
 
 
 class Event:
-    """A scheduled callback.
+    """A cancellation handle for a scheduled callback.
 
     Returned by :meth:`Simulator.schedule` and :meth:`Simulator.at` so the
-    caller can cancel it.  Cancellation is O(1): the heap entry is marked
-    dead and skipped when popped.
+    caller can cancel it.  Cancellation is O(1): the callback is dropped
+    from the engine's slab and the dead queue entry is skipped (or
+    compacted away) later.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("_sim", "time", "seq", "cancelled")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+    def __init__(self, sim: "Simulator", time: float, seq: int):
+        self._sim = sim
         self.time = time
         self.seq = seq
-        self.callback = callback
-        self.args = args
         self.cancelled = False
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Safe to call more than once."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            self._sim._discard(self.seq)
 
     def __lt__(self, other: "Event") -> bool:
-        # Heap ordering: by time, then insertion order (FIFO at equal times).
+        # Kept for API compatibility: order by time, then insertion order.
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -64,14 +86,24 @@ class Simulator:
         sim.schedule(1.5, print, "fires at t=1.5")
         sim.run(until=10.0)
 
-    Callbacks may schedule further events; :meth:`run` drains the heap in
-    timestamp order until the horizon is reached or no events remain.
+    Callbacks may schedule further events; :meth:`run` drains the queues in
+    ``(time, seq)`` order until the horizon is reached or no events remain.
     """
+
+    # Compact only past this queue size: tiny queues are cheap to scan and
+    # rebuilding them would dominate.
+    _COMPACT_MIN = 64
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[Event] = []
-        self._seq = itertools.count()
+        # seq -> (callback, args): the single source of truth for liveness.
+        self._slab: dict[int, tuple[Callable[..., Any], tuple]] = {}
+        self._heap: list[tuple[float, int]] = []
+        # Entries scheduled at the current instant; appended in (time, seq)
+        # order so the leftmost element is always the deque's minimum.
+        self._soon: deque[tuple[float, int]] = deque()
+        self._seq = 0
+        self._dead = 0  # cancelled entries still sitting in _heap/_soon
         self._events_processed = 0
         self._running = False
 
@@ -89,8 +121,16 @@ class Simulator:
         return self._events_processed
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still on the heap."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return len(self._slab)
+
+    def queue_size(self) -> int:
+        """Total queue entries including not-yet-compacted cancelled ones.
+
+        ``queue_size() - pending()`` is the current garbage count; the
+        compaction regression tests assert it stays bounded.
+        """
+        return len(self._heap) + len(self._soon)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -99,40 +139,74 @@ class Simulator:
         """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
         if delay < 0 or math.isnan(delay):
             raise SimulationError(f"cannot schedule with negative/NaN delay {delay!r}")
-        return self.at(self._now + delay, callback, *args)
+        time = self._now + delay
+        return Event(self, time, self._push(time, callback, args))
 
     def at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to fire at absolute ``time``."""
-        if time < self._now:
+        if time < self._now or math.isnan(time):
             raise SimulationError(
                 f"cannot schedule at t={time} (already at t={self._now})"
             )
-        event = Event(time, next(self._seq), callback, args)
-        heapq.heappush(self._heap, event)
-        return event
+        return Event(self, time, self._push(time, callback, args))
 
     def call_soon(self, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at the current instant (after any
         events already queued for this instant)."""
-        return self.at(self._now, callback, *args)
+        return Event(self, self._now, self._push(self._now, callback, args))
+
+    def defer(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
+        """:meth:`schedule` without allocating a cancellation handle.
+
+        For internal hot paths that fire-and-forget (burst completions,
+        stage wake-ups, message delivery).  The event cannot be cancelled.
+        """
+        if delay < 0 or math.isnan(delay):
+            raise SimulationError(f"cannot schedule with negative/NaN delay {delay!r}")
+        self._push(self._now + delay, callback, args)
+
+    def _push(self, time: float, callback: Callable[..., Any], args: tuple) -> int:
+        seq = self._seq
+        self._seq = seq + 1
+        self._slab[seq] = (callback, args)
+        if time == self._now:
+            # Same-instant fast path: seq is strictly increasing and _now
+            # is nondecreasing, so appends keep the deque sorted.
+            self._soon.append((time, seq))
+        else:
+            heappush(self._heap, (time, seq))
+        return seq
+
+    # ------------------------------------------------------------------
+    # Cancellation / compaction
+    # ------------------------------------------------------------------
+    def _discard(self, seq: int) -> None:
+        if self._slab.pop(seq, None) is None:
+            return  # already fired or already cancelled
+        self._dead += 1
+        garbage = self._dead
+        if garbage > self._COMPACT_MIN and 2 * garbage > len(self._heap) + len(self._soon):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the queues with live entries only."""
+        slab = self._slab
+        self._heap = [entry for entry in self._heap if entry[1] in slab]
+        heapify(self._heap)
+        if len(self._heap) + len(self._soon) > len(slab):
+            self._soon = deque(entry for entry in self._soon if entry[1] in slab)
+        self._dead = 0
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
-        """Fire the next event.  Returns False when the heap is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self._events_processed += 1
-            event.callback(*event.args)
-            return True
-        return False
+        """Fire the next event.  Returns False when no live events remain."""
+        fired = self._drain(until=None, max_events=1)
+        return fired == 1
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
-        """Drain the event heap.
+        """Drain the event queues.
 
         Args:
             until: stop once simulated time would exceed this horizon; the
@@ -143,26 +217,52 @@ class Simulator:
         if self._running:
             raise SimulationError("run() called re-entrantly from a callback")
         self._running = True
-        fired = 0
         try:
-            while self._heap:
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and event.time > until:
-                    break
-                heapq.heappop(self._heap)
-                self._now = event.time
-                self._events_processed += 1
-                event.callback(*event.args)
-                fired += 1
-                if max_events is not None and fired >= max_events:
-                    break
+            self._drain(until, max_events)
         finally:
             self._running = False
         if until is not None and self._now < until:
             self._now = until
 
+    def _drain(self, until: Optional[float], max_events: Optional[int]) -> int:
+        heap = self._heap
+        slab = self._slab
+        fired = 0
+        while True:
+            soon = self._soon  # rebound: _compact may replace the deque
+            heap = self._heap
+            if soon and (not heap or soon[0] <= heap[0]):
+                time, seq = soon[0]
+                from_heap = False
+            elif heap:
+                time, seq = heap[0]
+                from_heap = True
+            else:
+                break
+            item = slab.pop(seq, None)
+            if item is None:
+                # Cancelled: purge the dead entry and keep going.
+                if from_heap:
+                    heappop(heap)
+                else:
+                    soon.popleft()
+                self._dead -= 1
+                continue
+            if until is not None and time > until:
+                slab[seq] = item  # not consumed after all
+                break
+            if from_heap:
+                heappop(heap)
+            else:
+                soon.popleft()
+            self._now = time
+            self._events_processed += 1
+            callback, args = item
+            callback(*args)
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                break
+        return fired
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"Simulator(t={self._now:.6f}, pending={len(self._heap)})"
+        return f"Simulator(t={self._now:.6f}, pending={len(self._slab)})"

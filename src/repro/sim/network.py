@@ -58,4 +58,4 @@ class Network:
         """Deliver a message: fire ``callback(*args)`` after one latency draw."""
         self.messages_sent += 1
         self.bytes_sent += size_bytes
-        self.sim.schedule(self.latency(), callback, *args)
+        self.sim.defer(self.latency(), callback, *args)

@@ -57,3 +57,19 @@ def test_halo_command_small(capsys):
     out = capsys.readouterr().out
     assert "ActOp" in out
     assert "migrations" in out
+
+
+def test_perf_command_smoke(capsys, tmp_path):
+    import json
+
+    out_path = tmp_path / "perf.json"
+    code = main([
+        "perf", "--smoke", "--repeat", "1", "--only", "event_loop",
+        "--json", str(out_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "event_loop" in out
+    doc = json.loads(out_path.read_text())
+    assert doc["schema"] == 1
+    assert doc["benchmarks"]["event_loop"]["rate_per_sec"] > 0

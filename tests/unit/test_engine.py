@@ -148,3 +148,137 @@ def test_reentrant_run_rejected():
     sim.schedule(1.0, nested)
     with pytest.raises(SimulationError):
         sim.run()
+
+
+# ----------------------------------------------------------------------
+# Hot-path invariants: FIFO tie-breaking, the call_soon fast path, and
+# heap self-compaction under cancellation-heavy load.
+# ----------------------------------------------------------------------
+def test_fifo_preserved_across_mixed_schedule_at_call_soon():
+    """Events at one timestamp fire in exact submission order regardless
+    of which scheduling API queued them."""
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "via-schedule-0")
+    sim.at(1.0, fired.append, "via-at-1")
+
+    def at_one():
+        fired.append("first-at-1")
+        sim.call_soon(fired.append, "soon-2")
+        sim.at(1.0, fired.append, "at-now-3")
+        sim.call_soon(fired.append, "soon-4")
+        sim.schedule(0.0, fired.append, "zero-delay-5")
+
+    sim.schedule(0.5, lambda: sim.at(1.0, at_one))
+    sim.run()
+    assert fired == [
+        "via-schedule-0", "via-at-1", "first-at-1",
+        "soon-2", "at-now-3", "soon-4", "zero-delay-5",
+    ]
+
+
+def test_call_soon_interleaves_with_heap_events_by_seq():
+    """A heap event at t=now queued *before* a call_soon fires before it;
+    one queued after fires after it."""
+    sim = Simulator()
+    fired = []
+
+    def driver():
+        sim.call_soon(fired.append, "soon")
+        sim.at(sim.now, fired.append, "at-after-soon")
+
+    sim.at(2.0, fired.append, "heap-before")  # smaller seq, same time
+    sim.at(2.0, driver)
+    sim.run()
+    assert fired == ["heap-before", "soon", "at-after-soon"]
+
+
+def test_cancel_call_soon_event():
+    sim = Simulator()
+    fired = []
+
+    def driver():
+        ev = sim.call_soon(fired.append, "cancelled")
+        sim.call_soon(fired.append, "kept")
+        ev.cancel()
+
+    sim.schedule(1.0, driver)
+    sim.run()
+    assert fired == ["kept"]
+
+
+def test_pending_is_o1_and_counts_live_only():
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+    assert sim.pending() == 100
+    for ev in events[::2]:
+        ev.cancel()
+    assert sim.pending() == 50
+
+
+def test_timeout_timer_storm_self_compacts():
+    """The actor server's pattern: every request schedules a far-future
+    timeout timer and almost always cancels it.  Dead entries must not
+    accumulate in the queue."""
+    sim = Simulator()
+    fired = [0]
+
+    def tick():
+        fired[0] += 1
+        timer = sim.schedule(1e6, lambda: None)
+        timer.cancel()
+        if fired[0] < 20_000:
+            sim.schedule(0.001, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run()
+    assert fired[0] == 20_000
+    # Garbage (queued-but-cancelled entries) stays bounded by the live
+    # count, not by the 20k cancellations.
+    garbage = sim.queue_size() - sim.pending()
+    assert garbage <= max(64, sim.pending() + 1)
+
+
+def test_cancellation_during_compaction_window():
+    """Cancelling while many dead entries await compaction must neither
+    fire cancelled events nor drop live ones."""
+    sim = Simulator()
+    fired = []
+    live = [sim.schedule(50.0 + i, fired.append, i) for i in range(10)]
+    dead = [sim.schedule(100.0 + i, fired.append, 1000 + i) for i in range(500)]
+    # Cancel in an order that straddles the compaction threshold.
+    for ev in dead[:300]:
+        ev.cancel()
+    extra = sim.schedule(60.0, fired.append, "late")
+    for ev in dead[300:]:
+        ev.cancel()
+    extra.cancel()
+    live[3].cancel()
+    sim.run()
+    assert fired == [0, 1, 2, 4, 5, 6, 7, 8, 9]
+    assert sim.pending() == 0
+
+
+def test_run_until_preserves_unfired_events_after_putback():
+    """run(until=...) must leave the next event intact (the engine peeks
+    the slab before knowing the horizon stops it)."""
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, "late")
+    sim.run(until=1.0)
+    assert fired == []
+    assert sim.pending() == 1
+    sim.run(until=10.0)
+    assert fired == ["late"]
+
+
+def test_defer_fires_like_schedule():
+    sim = Simulator()
+    fired = []
+    sim.defer(1.0, fired.append, "a")
+    sim.defer(0.0, fired.append, "b")
+    with pytest.raises(SimulationError):
+        sim.defer(-1.0, fired.append, "never")
+    sim.run()
+    assert fired == ["b", "a"]
+    assert sim.events_processed == 2
