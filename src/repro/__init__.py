@@ -17,6 +17,9 @@ The package splits into the paper's contribution and its substrates:
 * :mod:`repro.queueing` — M/M/1 / Jackson-network formulas.
 * :mod:`repro.workloads` — Halo Presence, Heartbeat, and the counter app.
 * :mod:`repro.bench` — recorders and harness utilities.
+* :mod:`repro.obs` — observability: causal tracing across the whole
+  stack, structured runtime events, Chrome-trace/JSONL export, and
+  trace-derived latency-breakdown analysis (``repro trace`` on the CLI).
 
 Quickstart::
 
@@ -41,6 +44,12 @@ from .actor import (
     Sleep,
     Tell,
 )
+from .bench.metrics import (
+    HistogramRecorder,
+    LatencyRecorder,
+    TimeSeries,
+    percentile,
+)
 from .core import (
     ActOp,
     ModelBasedController,
@@ -51,6 +60,15 @@ from .core import (
     ThreadAllocationProblem,
     ThreadControllerConfig,
 )
+from .obs import (
+    EventLog,
+    Observability,
+    Span,
+    TraceContext,
+    Tracer,
+    chrome_trace_document,
+)
+from .seda import Stage, StagedServer, StageEvent, StageStats, StatsWindow
 from .sim import Simulator
 
 __version__ = "1.0.0"
@@ -66,7 +84,11 @@ __all__ = [
     "Call",
     "CallTimeout",
     "ClusterConfig",
+    "EventLog",
+    "HistogramRecorder",
+    "LatencyRecorder",
     "ModelBasedController",
+    "Observability",
     "OfflinePartitioner",
     "PartitionAgent",
     "PartitioningConfig",
@@ -74,8 +96,19 @@ __all__ = [
     "SerializationModel",
     "Simulator",
     "Sleep",
+    "Span",
+    "Stage",
+    "StageEvent",
+    "StageStats",
+    "StagedServer",
+    "StatsWindow",
     "Tell",
     "ThreadAllocationProblem",
     "ThreadControllerConfig",
+    "TimeSeries",
+    "TraceContext",
+    "Tracer",
+    "chrome_trace_document",
+    "percentile",
     "__version__",
 ]

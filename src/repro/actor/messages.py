@@ -54,6 +54,8 @@ class Message:
         result: return value carried by a response.
         created_at: simulated time the message was created.
         client_tag: opaque cookie for client-request latency accounting.
+        trace: optional :class:`~repro.obs.spans.TraceContext` carrying
+            the causal-trace lineage; ``None`` means untraced.
     """
 
     kind: MessageKind
@@ -68,13 +70,18 @@ class Message:
     created_at: float = 0.0
     client_tag: Any = None
     response_size: int = 128
+    trace: Any = None
 
     @property
     def expects_reply(self) -> bool:
         return self.kind in (MessageKind.CALL, MessageKind.CLIENT_REQUEST)
 
     def make_response(self, result: Any, size: int, server_id: int) -> "Message":
-        """Build the response message for this request."""
+        """Build the response message for this request.
+
+        The response reuses the request's trace context: a call and its
+        response are two legs of the same logical span.
+        """
         return Message(
             kind=MessageKind.RESPONSE,
             target=self.sender,
@@ -85,4 +92,5 @@ class Message:
             result=result,
             created_at=self.created_at,
             client_tag=self.client_tag,
+            trace=self.trace,
         )

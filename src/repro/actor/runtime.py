@@ -103,6 +103,11 @@ class ActorRuntime:
         self.placement: PlacementPolicy = RandomPlacement(self.rng)
         self.actor_types: dict[str, Type[Actor]] = {}
         self.storage: dict[ActorId, dict[str, Any]] = {}
+        # Observability attachment point (set by repro.obs.Observability).
+        # None means fully uninstrumented: every tracing branch below is
+        # one attribute load + comparison.
+        self.obs = None
+        self._client_traces: dict[int, Any] = {}
         self.silos = [Silo(self, i) for i in range(self.config.num_servers)]
         self._gateway_rng = self.rng.stream("client.gateway")
         if self.config.idle_collection_age is not None:
@@ -218,6 +223,9 @@ class ActorRuntime:
             self._gateway_rng.randrange(self.num_servers))]
         destination = gateway._resolve_or_place(ref.id)
         call_id = next_call_id()
+        obs = self.obs
+        ctx = (obs.tracer.begin_request(f"{ref.id}.{method}")
+               if obs is not None else None)
         message = Message(
             kind=MessageKind.CLIENT_REQUEST,
             target=ref.id,
@@ -227,7 +235,10 @@ class ActorRuntime:
             call_id=call_id,
             created_at=self.sim.now,
             response_size=response_size,
+            trace=ctx,
         )
+        if ctx is not None:
+            self._client_traces[call_id] = ctx
         if on_complete is not None:
             self._client_hooks[call_id] = on_complete
         if self.call_timeout is not None:
@@ -235,13 +246,19 @@ class ActorRuntime:
                 self.call_timeout, self._client_request_timed_out,
                 call_id, ref.id, method,
             )
-        self.network.deliver(size, self.silos[destination].deliver, message)
+        latency = self.network.deliver(
+            size, self.silos[destination].deliver, message)
+        if ctx is not None:
+            obs.tracer.network_hop(ctx, None, destination, size, latency)
 
     def complete_client_request(self, response: Message) -> None:
         """Called when a client response leaves the cluster (post-network)."""
         timer = self._client_timers.pop(response.call_id, None)
         if timer is not None:
             timer.cancel()
+        ctx = self._client_traces.pop(response.call_id, None)
+        if ctx is not None and self.obs is not None:
+            self.obs.tracer.end_request(ctx)
         latency = self.sim.now - response.created_at
         self.client_latency.record(latency)
         self.client_latency_hist.record(latency)
@@ -254,6 +271,9 @@ class ActorRuntime:
         from .errors import CallTimeout
 
         self._client_timers.pop(call_id, None)
+        ctx = self._client_traces.pop(call_id, None)
+        if ctx is not None and self.obs is not None:
+            self.obs.tracer.end_request(ctx, error="timeout")
         self.requests_timed_out += 1
         hook = self._client_hooks.pop(call_id, None)
         if hook is not None:

@@ -26,6 +26,12 @@ from __future__ import annotations
 import inspect
 from typing import Any, Optional
 
+from ..obs.events import (
+    ActivationEvent,
+    DeactivationEvent,
+    MigrationEvent,
+    SiloLifecycleEvent,
+)
 from ..seda.server import StagedServer
 from ..seda.stage import Stage, StageEvent
 from .activation import Activation, WorkItem, WorkKind
@@ -114,7 +120,9 @@ class Silo:
             self.runtime.rejected_requests += 1
             return
         cost = self.runtime.serialization.deserialize_cost(message.size)
-        self.receiver.submit(cost, self._received, message)
+        event = self.receiver.submit(cost, self._received, message)
+        if message.trace is not None:
+            event.ctx = message.trace
 
     def _received(self, event: StageEvent, message: Message) -> None:
         if self.dead:
@@ -193,13 +201,22 @@ class Silo:
 
     def _send_remote(self, message: Message, destination: int) -> None:
         cost = self.runtime.serialization.serialize_cost(message.size)
-        self.server_sender.submit(cost, self._serialized, message, destination)
+        event = self.server_sender.submit(cost, self._serialized, message,
+                                          destination)
+        if message.trace is not None:
+            event.ctx = message.trace
 
     def _serialized(self, event: StageEvent, message: Message, destination: int) -> None:
         if self.dead:
             return
         silo = self.runtime.silos[destination]
-        self.runtime.network.deliver(message.size, silo.deliver, message)
+        latency = self.runtime.network.deliver(message.size, silo.deliver, message)
+        ctx = message.trace
+        if ctx is not None:
+            obs = self.runtime.obs
+            if obs is not None:
+                obs.tracer.network_hop(ctx, self.server_id, destination,
+                                       message.size, latency)
 
     # ------------------------------------------------------------------
     # Turn execution
@@ -243,8 +260,14 @@ class Silo:
         if item is None:
             return
         activation.segment_running = True
-        self.worker.submit(item.compute, self._segment_done, activation, item,
-                           wait=item.wait)
+        event = self.worker.submit(item.compute, self._segment_done, activation,
+                                   item, wait=item.wait)
+        # Attribute the worker segment to the message that caused it: the
+        # inbound message for a fresh turn, the turn's origin for a resume.
+        trace = (item.message.trace if item.message is not None
+                 else item.continuation.origin.trace)
+        if trace is not None:
+            event.ctx = trace
 
     def _segment_done(self, event: StageEvent, activation: Activation, item: WorkItem) -> None:
         if self.dead:
@@ -310,6 +333,7 @@ class Silo:
                 size=yielded.size,
                 sender=activation.actor_id,
                 created_at=self.sim.now,
+                trace=self._child_trace(origin),
             )
             activation.record_communication(yielded.target.id)
             self._dispatch_request(oneway)
@@ -345,6 +369,7 @@ class Silo:
             self._pending[call_id] = (continuation, slot)
             activation.pending_calls += 1
             activation.record_communication(call.target.id)
+            trace = self._child_trace(origin)
             request = Message(
                 kind=MessageKind.CALL,
                 target=call.target.id,
@@ -356,7 +381,13 @@ class Silo:
                 reply_to_server=self.server_id,
                 created_at=self.sim.now,
                 response_size=call.response_size,
+                trace=trace,
             )
+            if trace is not None:
+                self.runtime.obs.tracer.call_issued(
+                    call_id, trace, f"{call.target.id}.{call.method}",
+                    self.server_id,
+                )
             timeout = (call.timeout * self.runtime.time_scale
                        if call.timeout is not None else default_timeout)
             if timeout is not None:
@@ -365,6 +396,18 @@ class Silo:
                     call.target.id, call.method,
                 )
             self._dispatch_request(request)
+
+    def _child_trace(self, origin: Message):
+        """A child trace context for a message caused by ``origin``.
+
+        None-in, None-out: untraced turns spawn untraced messages, so the
+        whole causal tree shares one sampling decision.
+        """
+        ctx = origin.trace
+        if ctx is None:
+            return None
+        obs = self.runtime.obs
+        return obs.tracer.child(ctx) if obs is not None else None
 
     def _sleep_done(self, continuation: _Continuation) -> None:
         if self.dead:
@@ -383,7 +426,10 @@ class Silo:
                 server_id=self.server_id,
             )
             cost = self.runtime.serialization.serialize_cost(response.size)
-            self.client_sender.submit(cost, self._client_response_ready, response)
+            event = self.client_sender.submit(cost, self._client_response_ready,
+                                              response)
+            if response.trace is not None:
+                event.ctx = response.trace
             return
         # Actor-to-actor response.
         response = origin.make_response(result, size=origin.response_size,
@@ -404,9 +450,15 @@ class Silo:
     def _client_response_ready(self, event: StageEvent, response: Message) -> None:
         if self.dead:
             return
-        self.runtime.network.deliver(
+        latency = self.runtime.network.deliver(
             response.size, self.runtime.complete_client_request, response
         )
+        ctx = response.trace
+        if ctx is not None:
+            obs = self.runtime.obs
+            if obs is not None:
+                obs.tracer.network_hop(ctx, self.server_id, None,
+                                       response.size, latency)
 
     def _handle_response(self, response: Message, extra_compute: float) -> None:
         resolved = self._resolve_call(response.call_id, response.result,
@@ -443,6 +495,10 @@ class Silo:
         entry = self._pending.pop(call_id, None)
         if entry is None:
             return None  # stale: already timed out or responded
+        obs = self.runtime.obs
+        if obs is not None:
+            obs.tracer.call_resolved(
+                call_id, ok=not isinstance(result, ActorError))
         timer = self._call_timers.pop(call_id, None)
         if timer is not None:
             timer.cancel()
@@ -482,6 +538,10 @@ class Silo:
         activation = Activation(actor_id, instance)
         self.activations[actor_id] = activation
         instance.on_activate()
+        obs = self.runtime.obs
+        if obs is not None:
+            obs.events.emit(ActivationEvent(
+                self.sim.now, server=self.server_id, actor=str(actor_id)))
         return activation
 
     def migrate(self, actor_id: ActorId, destination: int) -> bool:
@@ -533,12 +593,21 @@ class Silo:
         self.runtime.storage[actor_id] = activation.instance.capture_state()
         del self.activations[actor_id]
         self.runtime.directory.unregister(actor_id)
+        obs = self.runtime.obs
+        if obs is not None:
+            obs.events.emit(DeactivationEvent(
+                self.sim.now, server=self.server_id, actor=str(actor_id),
+                migration_hint=destination))
         if destination is not None:
             # Both parties remember where the actor should land (§4.3).
             self.location_cache.hint(actor_id, destination)
             self.runtime.silos[destination].location_cache.hint(actor_id, destination)
             self.migrations_out += 1
             self.runtime.record_migration()
+            if obs is not None:
+                obs.events.emit(MigrationEvent(
+                    self.sim.now, actor=str(actor_id),
+                    source=self.server_id, destination=destination))
 
     # ------------------------------------------------------------------
     # Failure injection
@@ -552,6 +621,7 @@ class Silo:
         if self.dead:
             return
         self.dead = True
+        lost = len(self.activations)
         for actor_id in list(self.activations):
             self.runtime.directory.unregister(actor_id)
         self.activations.clear()
@@ -559,10 +629,21 @@ class Silo:
             timer.cancel()
         self._call_timers.clear()
         self._pending.clear()
+        obs = self.runtime.obs
+        if obs is not None:
+            obs.events.emit(SiloLifecycleEvent(
+                self.sim.now, server=self.server_id, up=False,
+                activations_lost=lost))
 
     def restart(self) -> None:
         """Bring a failed silo back (empty, ready to host again)."""
+        if not self.dead:
+            return
         self.dead = False
+        obs = self.runtime.obs
+        if obs is not None:
+            obs.events.emit(SiloLifecycleEvent(
+                self.sim.now, server=self.server_id, up=True))
 
     # ------------------------------------------------------------------
     # Introspection

@@ -1,16 +1,23 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands expose the main experiment drivers without writing any
+Five subcommands expose the main experiment drivers without writing any
 code:
 
 * ``halo``       — the cluster workload A/B (random vs ActOp), §6.1-style;
 * ``heartbeat``  — the single-server thread-allocation experiment, §6.2;
 * ``partition``  — offline partitioner comparison on a synthetic graph;
 * ``perf``       — simulation-core microbenchmarks with JSON output
-  (see :mod:`repro.bench.perf`); every perf PR lands with these numbers.
+  (see :mod:`repro.bench.perf`); every perf PR lands with these numbers;
+* ``trace``      — run a workload with :mod:`repro.obs` causal tracing,
+  export a Chrome trace-event file (loadable in Perfetto or
+  ``chrome://tracing``), and cross-check the trace-derived latency
+  breakdown against the stage recorders.
 
-Each prints a result table to stdout and exits 0; they are smoke-level
-entry points (the full reproduction lives in ``benchmarks/``).
+Each prints a result table to stdout; a run that produced no usable
+result exits non-zero.  ``perf`` and ``trace`` share the ``--json PATH``
+convention (``'-'`` writes pure JSON to stdout, the table to stderr).
+They are smoke-level entry points (the full reproduction lives in
+``benchmarks/``).
 """
 
 from __future__ import annotations
@@ -78,6 +85,36 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--profile", dest="profile_dir", metavar="DIR",
                       help="opt-in cProfile: dump per-benchmark .pstats "
                            "files into DIR (profiles the first repeat)")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a workload under causal tracing; export a Chrome trace")
+    trace.add_argument("--workload", choices=("halo", "heartbeat", "counter"),
+                       default="halo")
+    trace.add_argument("--players", type=int, default=200,
+                       help="halo: concurrent player target")
+    trace.add_argument("--servers", type=int, default=4,
+                       help="halo: cluster size")
+    trace.add_argument("--rate", type=float, default=None,
+                       help="heartbeat/counter: paper-equivalent req/s "
+                            "(default: the bench's calibrated rate)")
+    trace.add_argument("--warmup", type=float, default=5.0,
+                       help="simulated warmup seconds before the traced window")
+    trace.add_argument("--duration", type=float, default=10.0,
+                       help="simulated seconds of the traced window")
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument("--sample", type=float, default=1.0,
+                       help="fraction of requests to trace (systematic "
+                            "sampling; the recorder cross-check needs 1.0)")
+    trace.add_argument("--actop", action="store_true",
+                       help="halo: enable both ActOp optimizers so "
+                            "migrations/exchanges appear in the event log")
+    trace.add_argument("--chrome", metavar="PATH", default="trace-chrome.json",
+                       help="Chrome trace-event output file")
+    trace.add_argument("--jsonl", metavar="PATH", default=None,
+                       help="also stream spans+events as JSON lines to PATH")
+    trace.add_argument("--json", dest="json_path", metavar="PATH",
+                       help="write the summary JSON here ('-' for stdout)")
 
     part = sub.add_parser("partition", help="offline partitioner comparison")
     part.add_argument("--graph", choices=("clustered", "powerlaw", "random"),
@@ -203,15 +240,130 @@ def _run_partition(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench.harness import CounterExperiment
+    from .obs import (
+        Observability,
+        breakdown_shares,
+        cross_check,
+        recorder_totals,
+        stage_totals,
+    )
+
+    if args.workload == "halo":
+        exp = HaloExperiment(
+            players=args.players, num_servers=args.servers, seed=args.seed,
+            partitioning=args.actop, thread_allocation=args.actop,
+        )
+    elif args.workload == "heartbeat":
+        exp = HeartbeatExperiment(
+            request_rate=args.rate or 15_000.0, seed=args.seed)
+    else:
+        exp = CounterExperiment(
+            request_rate=args.rate or 15_000.0, seed=args.seed)
+    rt = exp.runtime
+    obs = Observability(rt, sample_rate=args.sample)
+    exp.workload.start()
+    actop = getattr(exp, "actop", None)
+    if actop is not None:
+        actop.start()
+
+    rt.run(until=args.warmup)
+    # Private counter snapshots, not StagedServer.begin_window(): the
+    # thread-allocation controllers re-arm the server's shared window
+    # slot every tick, which would shrink ours to the last tick.
+    t0 = obs.begin_recorder_window()
+    rt.run(until=args.warmup + args.duration)
+    t1 = rt.sim.now
+    windows = obs.end_recorder_window()
+
+    tracer = obs.tracer
+    full_sampling = args.sample >= 1.0
+    check_error = None
+    if full_sampling:
+        check_error, _ = cross_check(
+            stage_totals(tracer.spans, t0, t1), recorder_totals(windows))
+    shares = breakdown_shares(tracer.spans, t0, t1)
+    event_counts: dict[str, int] = {}
+    for record in obs.events:
+        kind = type(record).KIND
+        event_counts[kind] = event_counts.get(kind, 0) + 1
+
+    obs.write_chrome_trace(args.chrome)
+    jsonl_lines = obs.write_jsonl(args.jsonl) if args.jsonl else None
+
+    summary = {
+        "schema": 1,
+        "workload": args.workload,
+        "seed": args.seed,
+        "sample_rate": args.sample,
+        "warmup_s": args.warmup,
+        "duration_s": args.duration,
+        "time_scale": exp.time_scale,
+        "requests_seen": tracer.requests_seen,
+        "traces_started": tracer.traces_started,
+        "requests_finished": tracer.requests_finished,
+        "spans": len(tracer.spans),
+        "spans_dropped": tracer.dropped_spans,
+        "runtime_events": len(obs.events),
+        "event_counts": event_counts,
+        "cross_check_max_rel_err": check_error,
+        "breakdown_pct": {k: round(v, 3) for k, v in shares.items()},
+        "chrome_trace": args.chrome,
+        "jsonl": args.jsonl,
+        "jsonl_lines": jsonl_lines,
+    }
+
+    out = sys.stderr if args.json_path == "-" else sys.stdout
+    print(render_table(
+        ["component", "% of e2e"],
+        [[name, share] for name, share in shares.items()],
+        title=f"trace({args.workload}) — {tracer.requests_finished} traced "
+              f"requests, {len(tracer.spans)} spans, "
+              f"{len(obs.events)} runtime events",
+    ), file=out)
+    if check_error is not None:
+        print(f"\nrecorder cross-check: max relative error "
+              f"{check_error:.2e} (must be < 1e-2)", file=out)
+    print(f"Chrome trace written to {args.chrome} "
+          f"(open in Perfetto or chrome://tracing)", file=out)
+    if args.jsonl:
+        print(f"{jsonl_lines} JSONL records written to {args.jsonl}", file=out)
+
+    if args.json_path == "-":
+        print(json.dumps(summary, indent=2))
+    elif args.json_path:
+        with open(args.json_path, "w") as fh:
+            json.dump(summary, fh, indent=2)
+            fh.write("\n")
+        print(f"summary JSON written to {args.json_path}", file=out)
+
+    if tracer.requests_finished == 0 or not tracer.spans:
+        print("trace failed: no traced request completed "
+              "(window too short, or sampling too sparse)", file=sys.stderr)
+        return 1
+    if check_error is not None and check_error > 0.01:
+        print(f"trace failed: trace-derived stage totals diverge from the "
+              f"stage recorders ({check_error:.4f} > 0.01)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_perf(args: argparse.Namespace) -> int:
     from .bench import perf
 
-    doc = perf.run_suite(
-        smoke=args.smoke,
-        repeat=args.repeat,
-        only=args.only,
-        profile_dir=args.profile_dir,
-    )
+    try:
+        doc = perf.run_suite(
+            smoke=args.smoke,
+            repeat=args.repeat,
+            only=args.only,
+            profile_dir=args.profile_dir,
+        )
+    except Exception as exc:  # failed run -> non-zero exit, not a traceback
+        print(f"perf suite failed: {exc}", file=sys.stderr)
+        return 1
     if args.json_path == "-":
         # Keep stdout pure JSON so the output can be piped; the human
         # table still reaches the terminal via stderr.
@@ -242,6 +394,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_partition(args)
     if args.command == "perf":
         return _run_perf(args)
+    if args.command == "trace":
+        return _run_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -74,6 +74,12 @@ class ActOp:
                 )
 
     def start(self) -> None:
+        # Thread controllers have no runtime handle, so the event log is
+        # wired here; partition agents read runtime.obs at emit time.
+        obs = getattr(self.runtime, "obs", None)
+        if obs is not None:
+            for controller in self.controllers:
+                controller.event_log = obs.events
         for agent in self.agents:
             agent.start()
         for controller in self.controllers:

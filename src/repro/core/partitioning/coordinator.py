@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ...graph.spacesaving import SpaceSaving
+from ...obs.events import ExchangeEvent, PartitionRoundEvent
 from .candidate import rank_peers
 from .protocol import ExchangeRequest, ExchangeResponse, handle_request
 from .view import PartitionView
@@ -160,10 +161,16 @@ class PartitionAgent:
     def initiate_round(self) -> None:
         """One Alg.-1 invocation: pick the best peer, fall through rejections."""
         view = self.build_view()
-        proposals = rank_peers(view, self.candidate_k())
+        k = self.candidate_k()
+        proposals = rank_peers(view, k)
         if not proposals:
             return
         self.exchanges_initiated += 1
+        obs = self.runtime.obs
+        if obs is not None:
+            obs.events.emit(PartitionRoundEvent(
+                self.runtime.sim.now, server=self.silo.server_id,
+                proposals=len(proposals), candidates=k))
         self._try_peer(view.size, proposals, 0)
 
     def _try_peer(self, my_size: int, proposals, index: int) -> None:
@@ -195,13 +202,25 @@ class PartitionAgent:
         proposals,
         index: int,
     ) -> None:
+        obs = self.runtime.obs
         if not response.accepted:
             self.exchanges_rejected += 1
+            if obs is not None:
+                obs.events.emit(ExchangeEvent(
+                    self.runtime.sim.now, initiator=self.silo.server_id,
+                    target=request.target, accepted=False,
+                    reason=response.rejection_reason))
             self._try_peer(my_size, proposals, index + 1)
             return
         self.exchanges_accepted += 1
         outcome = response.outcome
         assert outcome is not None
+        if obs is not None:
+            obs.events.emit(ExchangeEvent(
+                self.runtime.sim.now, initiator=self.silo.server_id,
+                target=request.target, accepted=True, moves=outcome.moves,
+                sent=len(outcome.accepted), received=len(outcome.returned),
+                estimated_gain=outcome.estimated_gain))
         if outcome.moves == 0:
             # Accepted-but-empty: q's fresher knowledge found no useful
             # exchange; fall through to the next-best peer.

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ...bench.metrics import TimeSeries
+from ...obs.events import ThreadAllocationEvent
 from ...seda.server import StagedServer
 from ...sim.engine import Simulator
 from .estimator import estimate_stage_loads, measure_windows
@@ -47,6 +48,9 @@ class _PeriodicController:
         }
         self.ticks = 0
         self._running = False
+        # Optional repro.obs EventLog; ActOp.start() wires it when an
+        # Observability is attached to the runtime.
+        self.event_log = None
 
     def start(self) -> None:
         self._running = True
@@ -102,14 +106,22 @@ class QueueLengthController(_PeriodicController):
         self.max_threads = max_threads
 
     def _control(self) -> None:
+        changed = False
         for stage in self.server.stages.values():
             qlen = stage.queue_length
             if qlen > self.high_threshold:
                 target = stage.threads + 1
                 if self.max_threads is None or target <= self.max_threads:
                     stage.set_threads(target)
+                    changed = True
             elif qlen < self.low_threshold and stage.threads > 1:
                 stage.set_threads(stage.threads - 1)
+                changed = True
+        if changed and self.event_log is not None:
+            self.event_log.emit(ThreadAllocationEvent(
+                self.sim.now, server=self.server.name,
+                allocation=self.server.thread_allocation(),
+                alpha=0.0, feasible=True, controller="queue"))
 
 
 @dataclass
@@ -205,6 +217,11 @@ class ModelBasedController(_PeriodicController):
         self.allocations.append(
             AllocationEvent(self.sim.now, dict(allocation), alpha, feasible)
         )
+        if self.event_log is not None:
+            self.event_log.emit(ThreadAllocationEvent(
+                self.sim.now, server=self.server.name,
+                allocation=dict(allocation), alpha=alpha, feasible=feasible,
+                controller="model"))
 
     @property
     def last_allocation(self) -> Optional[dict[str, int]]:

@@ -1,0 +1,174 @@
+"""Structured runtime events: the cluster's control plane, made visible.
+
+The data plane is covered by spans (:mod:`repro.obs.spans`); this module
+covers the *decisions* — partitioning rounds and exchanges, migrations,
+thread re-allocations, activation lifecycle, silo failure/recovery —
+as typed records collected in an append-only :class:`EventLog`.
+
+These were previously invisible internals (counters at best); related
+adaptive systems (DPA load balancing, dynamic reconfiguration engines)
+treat exactly this telemetry as the *input* to adaptation, so the log is
+designed for consumption: typed records, subscribers for online
+consumers, JSONL export for offline analysis, and instant-event rendering
+in the Chrome trace viewer alongside the spans they explain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Callable, ClassVar, Iterator, Optional, Type, TypeVar
+
+__all__ = [
+    "RuntimeEvent",
+    "ActivationEvent",
+    "DeactivationEvent",
+    "MigrationEvent",
+    "SiloLifecycleEvent",
+    "PartitionRoundEvent",
+    "ExchangeEvent",
+    "ThreadAllocationEvent",
+    "EventLog",
+]
+
+E = TypeVar("E", bound="RuntimeEvent")
+
+
+@dataclass(frozen=True, slots=True)
+class RuntimeEvent:
+    """Base record: every event carries its simulated timestamp."""
+
+    KIND: ClassVar[str] = "event"
+
+    time: float
+
+    def to_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {"type": "event", "kind": self.KIND}
+        for f in fields(self):
+            doc[f.name] = getattr(self, f.name)
+        return doc
+
+
+@dataclass(frozen=True, slots=True)
+class ActivationEvent(RuntimeEvent):
+    """An actor was activated (hosted) on a silo."""
+
+    KIND: ClassVar[str] = "activation"
+
+    server: int = 0
+    actor: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class DeactivationEvent(RuntimeEvent):
+    """An actor finished deactivating (idle collection or migration)."""
+
+    KIND: ClassVar[str] = "deactivation"
+
+    server: int = 0
+    actor: str = ""
+    migration_hint: Optional[int] = None  # destination silo, None = plain GC
+
+
+@dataclass(frozen=True, slots=True)
+class MigrationEvent(RuntimeEvent):
+    """One opportunistic migration committed (§4.3)."""
+
+    KIND: ClassVar[str] = "migration"
+
+    actor: str = ""
+    source: int = 0
+    destination: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class SiloLifecycleEvent(RuntimeEvent):
+    """A silo crashed or came back."""
+
+    KIND: ClassVar[str] = "silo"
+
+    server: int = 0
+    up: bool = True
+    activations_lost: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionRoundEvent(RuntimeEvent):
+    """One Alg.-1 initiation on a silo (§4.2)."""
+
+    KIND: ClassVar[str] = "partition_round"
+
+    server: int = 0
+    proposals: int = 0   # ranked peers worth trying this round
+    candidates: int = 0  # candidate-set size k used
+
+
+@dataclass(frozen=True, slots=True)
+class ExchangeEvent(RuntimeEvent):
+    """Outcome of one pairwise exchange attempt, as seen by the initiator."""
+
+    KIND: ClassVar[str] = "exchange"
+
+    initiator: int = 0
+    target: int = 0
+    accepted: bool = False
+    moves: int = 0       # |S0| + |T0|
+    sent: int = 0        # |S0|: initiator -> target
+    received: int = 0    # |T0|: target -> initiator
+    estimated_gain: float = 0.0
+    reason: str = ""     # rejection reason when not accepted
+
+
+@dataclass(frozen=True, slots=True)
+class ThreadAllocationEvent(RuntimeEvent):
+    """A thread controller re-allocated a server's stage pools (§5)."""
+
+    KIND: ClassVar[str] = "thread_allocation"
+
+    server: str = ""
+    allocation: dict[str, int] = None  # type: ignore[assignment]
+    alpha: float = 0.0
+    feasible: bool = True
+    controller: str = "model"  # "model" (§5.3) or "queue" ([34]-style)
+
+
+class EventLog:
+    """Append-only, bounded, subscribable log of runtime events.
+
+    Subscribers fire synchronously on :meth:`emit` — they must follow the
+    same neutrality contract as the tracer (no scheduling, no RNG).
+    """
+
+    def __init__(self, max_events: int = 1_000_000):
+        if max_events < 0:
+            raise ValueError("max_events must be non-negative")
+        self.max_events = max_events
+        self.events: list[RuntimeEvent] = []
+        self.dropped = 0
+        self._subscribers: list[Callable[[RuntimeEvent], None]] = []
+
+    def emit(self, event: RuntimeEvent) -> None:
+        for subscriber in self._subscribers:
+            subscriber(event)
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def subscribe(self, callback: Callable[[RuntimeEvent], None]) -> None:
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[RuntimeEvent], None]) -> None:
+        self._subscribers.remove(callback)
+
+    def of_kind(self, event_type: Type[E]) -> list[E]:
+        """All recorded events of one type, in emission order."""
+        return [e for e in self.events if isinstance(e, event_type)]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[RuntimeEvent]:
+        return iter(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"EventLog({len(self.events)} events, dropped={self.dropped})"

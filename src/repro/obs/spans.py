@@ -1,0 +1,115 @@
+"""Trace contexts and spans — the vocabulary of causal tracing.
+
+A *trace* is the causal tree of everything one client request touches:
+stage traversals, CPU grants, network hops, actor-to-actor calls, across
+every silo it fans out to.  A :class:`TraceContext` is the tiny immutable
+token that rides on :class:`~repro.actor.messages.Message` objects to
+carry the (trace id, span id) lineage through the cluster; a
+:class:`Span` is one finished, timestamped piece of work in that tree.
+
+Spans are only ever *recorded at completion* — every interesting
+timestamp in the simulation (stage enqueue/dispatch/grant/complete,
+network send + drawn latency, call issue/resolve) is known by the time
+the work finishes, so there is no open-span bookkeeping on the hot path
+and tracing cannot perturb the simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["TraceContext", "Span", "SPAN_CATEGORIES"]
+
+#: Every category a Span.cat may carry (exporters and analysis key on these).
+SPAN_CATEGORIES = (
+    "request",        # client request, injection to response delivery
+    "call",           # actor-to-actor Call, issue to resolution
+    "stage.queue",    # stage-queue wait (enqueue -> thread dispatch)
+    "stage.ready",    # runnable but waiting for a core (Fig. 9's ``r``)
+    "stage.compute",  # on-CPU time (Fig. 9's ``x``, switch inflation included)
+    "stage.wait",     # blocking wait holding the thread (Fig. 9's ``w``)
+    "net",            # network transit of one message
+)
+
+
+class TraceContext:
+    """The propagated lineage token: (trace id, span id, parent span id).
+
+    ``span_id`` names the logical span of the *message being handled*;
+    fine-grained spans recorded while handling it (stage hops, network
+    transit) become its children.  Contexts are immutable; derive one for
+    a child message with :meth:`Tracer.child`.
+    """
+
+    __slots__ = ("trace_id", "span_id", "parent_id")
+
+    def __init__(self, trace_id: int, span_id: int,
+                 parent_id: Optional[int] = None):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"TraceContext(trace={self.trace_id}, span={self.span_id}, "
+                f"parent={self.parent_id})")
+
+
+class Span:
+    """One finished unit of traced work.
+
+    Times are in simulated seconds (un-normalized; exporters divide by the
+    run's ``time_scale`` when rendering paper-equivalent durations).
+    """
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "cat",
+                 "start", "end", "server", "track", "args")
+
+    def __init__(
+        self,
+        trace_id: int,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        cat: str,
+        start: float,
+        end: float,
+        server: Optional[int] = None,
+        track: str = "",
+        args: Optional[dict[str, Any]] = None,
+    ):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.cat = cat
+        self.start = start
+        self.end = end
+        self.server = server   # silo id; None means the client side
+        self.track = track     # display row: stage name, "network", ...
+        self.args = args
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSONL-friendly representation."""
+        doc: dict[str, Any] = {
+            "type": "span",
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "cat": self.cat,
+            "start": self.start,
+            "end": self.end,
+            "server": self.server,
+            "track": self.track,
+        }
+        if self.args:
+            doc["args"] = self.args
+        return doc
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Span({self.cat} {self.name!r}, trace={self.trace_id}, "
+                f"[{self.start:.6f}, {self.end:.6f}])")

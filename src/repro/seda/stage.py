@@ -19,6 +19,7 @@ inferred.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
@@ -37,6 +38,7 @@ class StageEvent:
         "wait",
         "callback",
         "args",
+        "ctx",
         "enqueue_time",
         "dispatch_time",
         "grant_time",
@@ -49,6 +51,7 @@ class StageEvent:
         self.wait = wait
         self.callback = callback
         self.args = args
+        self.ctx = None  # optional TraceContext (repro.obs causal tracing)
         self.enqueue_time = 0.0
         self.dispatch_time = 0.0
         self.grant_time = 0.0
@@ -156,8 +159,9 @@ class Stage:
         blocking: whether events of this stage may carry a synchronous
             wait component (the paper's S0 — stages *known* to never block
             — is the complement of this flag).
-        tracer: optional per-event hook ``tracer(stage, event)`` fired at
-            completion; used by the Fig.-4 latency-breakdown bench.
+        tracer: deprecated single-callback form of :attr:`observers`;
+            append ``hook(stage, event)`` callables to ``observers``
+            instead.
     """
 
     def __init__(
@@ -175,13 +179,40 @@ class Stage:
         self.cpu = cpu
         self.name = name
         self.blocking = blocking
-        self.tracer = tracer
+        #: Per-event completion hooks ``hook(stage, event)``, fired in
+        #: registration order after the stats update, before the event's
+        #: own callback.  Hooks must observe only (no scheduling, no RNG).
+        self.observers: list[Callable[["Stage", StageEvent], None]] = []
+        self._legacy_tracer: Optional[Callable[["Stage", StageEvent], None]] = None
+        if tracer is not None:
+            self.tracer = tracer
         self.stats = StageStats()
 
         self._threads = threads
         self._busy = 0
         self._queue: deque[StageEvent] = deque()
         cpu.register_threads(threads)
+
+    # ------------------------------------------------------------------
+    # Completion hooks
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self) -> Optional[Callable[["Stage", StageEvent], None]]:
+        """Deprecated: the single-callback predecessor of :attr:`observers`."""
+        return self._legacy_tracer
+
+    @tracer.setter
+    def tracer(self, callback: Optional[Callable[["Stage", StageEvent], None]]) -> None:
+        warnings.warn(
+            "Stage.tracer is deprecated; append to Stage.observers instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if self._legacy_tracer is not None:
+            self.observers.remove(self._legacy_tracer)
+        self._legacy_tracer = callback
+        if callback is not None:
+            self.observers.append(callback)
 
     # ------------------------------------------------------------------
     # Thread-pool control (the knob §5 optimizes)
@@ -265,8 +296,8 @@ class Stage:
         self._busy -= 1
         if self._queue:
             self._dispatch()
-        if self.tracer is not None:
-            self.tracer(self, event)
+        for observer in self.observers:
+            observer(self, event)
         event.callback(event, *event.args)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -54,8 +54,15 @@ class Network:
         size_bytes: int,
         callback: Callable[..., Any],
         *args: Any,
-    ) -> None:
-        """Deliver a message: fire ``callback(*args)`` after one latency draw."""
+    ) -> float:
+        """Deliver a message: fire ``callback(*args)`` after one latency draw.
+
+        Returns the drawn latency so instrumentation (e.g. the causal
+        tracer's network-hop spans) can report transit time without a
+        second draw.
+        """
         self.messages_sent += 1
         self.bytes_sent += size_bytes
-        self.sim.defer(self.latency(), callback, *args)
+        latency = self.latency()
+        self.sim.defer(latency, callback, *args)
+        return latency

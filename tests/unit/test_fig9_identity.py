@@ -18,8 +18,8 @@ def test_z_equals_r_plus_x_plus_w_for_every_event():
     server = StagedServer(sim, processors=2, switch_factor=0.1,
                           dispatch_overhead=1e-5)
     traced = []
-    stage = server.add_stage("io", threads=6, blocking=True,
-                             tracer=lambda st, ev: traced.append(ev))
+    stage = server.add_stage("io", threads=6, blocking=True)
+    stage.observers.append(lambda st, ev: traced.append(ev))
     rng = RngRegistry(3).stream("t")
     def submit(compute, wait):
         stage.submit(compute, lambda ev: None, wait=wait)
@@ -46,8 +46,8 @@ def test_oversubscription_shows_up_as_ready_time_and_inflation():
         server = StagedServer(sim, processors=2, switch_factor=0.1,
                               dispatch_overhead=0.0)
         events = []
-        stage = server.add_stage("s", threads=threads,
-                                 tracer=lambda st, ev: events.append(ev))
+        stage = server.add_stage("s", threads=threads)
+        stage.observers.append(lambda st, ev: events.append(ev))
         for _ in range(40):
             stage.submit(0.01, lambda ev: None)
         sim.run()
