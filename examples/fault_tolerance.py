@@ -15,7 +15,14 @@ Run:  python examples/fault_tolerance.py
 
 from collections import Counter
 
-from repro import Actor, ActorRuntime, CallTimeout, ClusterConfig
+from repro import (
+    Actor,
+    CallTimeout,
+    ClusterConfig,
+    FaultPlan,
+    ResilienceConfig,
+    build_cluster,
+)
 
 
 class Session(Actor):
@@ -36,12 +43,19 @@ class Session(Actor):
 
 
 def main():
-    runtime = ActorRuntime(ClusterConfig(
-        num_servers=4, seed=11,
-        call_timeout=0.5,              # half-second response timeout
-        idle_collection_age=20.0,      # periodically persists idle actors
-        idle_collection_period=5.0,
-    ))
+    victim = 2
+    cluster = build_cluster(
+        ClusterConfig(
+            num_servers=4, seed=11,
+            idle_collection_age=20.0,  # periodically persists idle actors
+            idle_collection_period=5.0,
+        ),
+        # Half-second response timeout on every client call.
+        resilience=ResilienceConfig(call_timeout=0.5),
+        # The chaos script: one silo dies ten seconds in.
+        faults=FaultPlan().crash(10.0, victim),
+    )
+    runtime = cluster.runtime
     runtime.register_actor("session", Session)
     sessions = [runtime.ref("session", i) for i in range(200)]
 
@@ -60,8 +74,7 @@ def main():
 
     runtime.sim.schedule(0.0, drive)
 
-    victim = 2
-    runtime.sim.schedule(10.0, runtime.fail_silo, victim)
+    cluster.start()  # arms the fault plan (times relative to now)
     print(f"cluster of 4 silos; silo {victim} will crash at t=10s\n")
     print(f"{'t(s)':>5} {'ok':>7} {'timeouts':>9} {'census':>24}")
 

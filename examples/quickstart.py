@@ -10,6 +10,7 @@ Run:  python examples/quickstart.py
 
 from repro import (
     ActOp,
+    ActOpConfig,
     Actor,
     ActorRuntime,
     All,
@@ -82,10 +83,10 @@ def main():
     runtime.run(until=1.0)
 
     # Attach ActOp's locality optimizer (fast control loop for the demo).
-    actop = ActOp(runtime, partitioning=PartitioningConfig(
+    actop = ActOp(runtime, ActOpConfig(partitioning=PartitioningConfig(
         round_period=1.0, stats_period=0.5, cooldown=0.5,
         delta=8, candidate_fraction=0.5, candidate_max=32, warmup=1.0,
-    ))
+    )))
     actop.start()
 
     # Drive chat traffic: each second, every room gets a few messages.

@@ -20,12 +20,21 @@ The package splits into the paper's contribution and its substrates:
 * :mod:`repro.obs` — observability: causal tracing across the whole
   stack, structured runtime events, Chrome-trace/JSONL export, and
   trace-derived latency-breakdown analysis (``repro trace`` on the CLI).
+* :mod:`repro.faults` — deterministic fault injection (silo crashes,
+  partitions, link degradation, slow silos, directory staleness) and
+  the client-side resilience policies (retry, deadlines, admission
+  control with load shedding); ``repro faults`` on the CLI.
 
 Quickstart::
 
-    from repro import ActorRuntime, ClusterConfig, ActOp, PartitioningConfig
-    runtime = ActorRuntime(ClusterConfig(num_servers=4))
-    # register actors, attach ActOp, drive load, run the simulator ...
+    from repro import ClusterConfig, ResilienceConfig, RetryPolicy, build_cluster
+    cluster = build_cluster(
+        ClusterConfig(num_servers=4),
+        resilience=ResilienceConfig(call_timeout=0.5,
+                                    retry=RetryPolicy(max_attempts=3)),
+    )
+    runtime = cluster.runtime
+    # register actors, drive load, cluster.run(until=...) ...
 
 See ``examples/quickstart.py`` for a complete runnable walk-through.
 """
@@ -40,6 +49,7 @@ from .actor import (
     Call,
     CallTimeout,
     ClusterConfig,
+    RequestShed,
     SerializationModel,
     Sleep,
     Tell,
@@ -50,8 +60,10 @@ from .bench.metrics import (
     TimeSeries,
     percentile,
 )
+from .cluster import Cluster, build_cluster
 from .core import (
     ActOp,
+    ActOpConfig,
     ModelBasedController,
     OfflinePartitioner,
     PartitionAgent,
@@ -59,6 +71,13 @@ from .core import (
     QueueLengthController,
     ThreadAllocationProblem,
     ThreadControllerConfig,
+)
+from .faults import (
+    AdmissionConfig,
+    FaultInjector,
+    FaultPlan,
+    ResilienceConfig,
+    RetryPolicy,
 )
 from .obs import (
     EventLog,
@@ -75,16 +94,21 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ActOp",
+    "ActOpConfig",
     "Actor",
     "ActorError",
     "ActorId",
     "ActorRef",
     "ActorRuntime",
+    "AdmissionConfig",
     "All",
     "Call",
     "CallTimeout",
+    "Cluster",
     "ClusterConfig",
     "EventLog",
+    "FaultInjector",
+    "FaultPlan",
     "HistogramRecorder",
     "LatencyRecorder",
     "ModelBasedController",
@@ -93,6 +117,9 @@ __all__ = [
     "PartitionAgent",
     "PartitioningConfig",
     "QueueLengthController",
+    "RequestShed",
+    "ResilienceConfig",
+    "RetryPolicy",
     "SerializationModel",
     "Simulator",
     "Sleep",
@@ -108,6 +135,7 @@ __all__ = [
     "TimeSeries",
     "TraceContext",
     "Tracer",
+    "build_cluster",
     "chrome_trace_document",
     "percentile",
     "__version__",

@@ -10,7 +10,7 @@ from .activation import Activation, WorkItem, WorkKind
 from .actor import DEFAULT_COMPUTE, DEFAULT_RESUME_COMPUTE, Actor
 from .calls import All, Call, Sleep, Tell
 from .directory import Directory, LocationCache
-from .errors import ActorError, CallTimeout
+from .errors import ActorError, CallTimeout, RequestShed
 from .ids import ActorId, ActorRef
 from .messages import Message, MessageKind
 from .placement import (
@@ -45,6 +45,7 @@ __all__ = [
     "PlacementPolicy",
     "PreferLocalPlacement",
     "RandomPlacement",
+    "RequestShed",
     "RoundRobinPlacement",
     "STAGE_NAMES",
     "SerializationModel",

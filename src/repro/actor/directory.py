@@ -48,6 +48,14 @@ class Directory:
         """Activations per server (the balance denominator)."""
         return dict(self._census)
 
+    def entries(self) -> list[tuple[ActorId, int]]:
+        """A snapshot of every (actor, server) registration.
+
+        Insertion-ordered, so deterministic samplers (e.g. the fault
+        injector's staleness action) stay reproducible across runs.
+        """
+        return list(self._entries.items())
+
     def count(self, server: int) -> int:
         return self._census[server]
 

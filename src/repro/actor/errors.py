@@ -16,7 +16,7 @@ call to it."  Our runtime mirrors that contract:
 
 from __future__ import annotations
 
-__all__ = ["ActorError", "CallTimeout"]
+__all__ = ["ActorError", "CallTimeout", "RequestShed"]
 
 
 class ActorError(Exception):
@@ -38,3 +38,20 @@ class CallTimeout(ActorError):
         self.target = target
         self.method = method
         self.timeout = timeout
+
+
+class RequestShed(ActorError):
+    """Admission control shed this request before it entered the cluster.
+
+    Raised at the client's completion hook only — shedding is a
+    client-edge decision (graceful degradation under overload), so no
+    actor ever observes it.
+    """
+
+    def __init__(self, target, method: str, policy: str):
+        super().__init__(
+            f"request to {target}.{method} shed by admission control "
+            f"({policy})")
+        self.target = target
+        self.method = method
+        self.policy = policy

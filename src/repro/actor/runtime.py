@@ -6,19 +6,29 @@ network, the placement directory, per-silo SEDA servers, and the
 persisted actor state store, and it exposes the measurement points the
 paper reports: end-to-end client latency, actor-to-actor call latency,
 remote/local message counters, migrations, and per-server CPU.
+
+Client-side resilience (retry with backoff, end-to-end deadlines,
+bounded admission with load shedding) is configured through a
+:class:`~repro.faults.resilience.ResilienceConfig`; a runtime built with
+``resilience=None`` takes a fast path whose event sequence is
+bit-identical to a build without the resilience layer.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Optional, Type
 
 from ..bench.metrics import HistogramRecorder, LatencyRecorder
+from ..faults.resilience import AdmissionConfig, ResilienceConfig
+from ..obs.events import RetryEvent, ShedEvent
 from ..sim.engine import Simulator
 from ..sim.network import Network
 from ..sim.rng import RngRegistry
 from .actor import Actor
 from .directory import Directory
+from .errors import CallTimeout, RequestShed
 from .ids import ActorId, ActorRef
 from .messages import Message, MessageKind, next_call_id
 from .placement import PlacementPolicy, RandomPlacement
@@ -26,6 +36,8 @@ from .serialization import SerializationModel
 from .server import Silo
 
 __all__ = ["ClusterConfig", "ActorRuntime"]
+
+_MISSING = object()  # sentinel: call id not in flight (late / duplicate)
 
 
 @dataclass
@@ -44,13 +56,14 @@ class ClusterConfig:
         resume_compute: CPU cost of resuming a suspended turn.
         client_response_size: bytes of a client-bound response.
         location_cache_capacity: per-silo hint cache size.
-        max_receiver_queue: client-request admission bound (None = no
-            rejection; the throughput bench sets it).
+        max_receiver_queue: deprecated — use
+            ``ResilienceConfig(admission=AdmissionConfig(receiver_queue=...))``.
         time_scale: multiply every simulated duration (costs, network,
             waits) by this factor; drive the workload at rate/time_scale
             and the system sits at the *same* utilization with the same
             latency shape while simulating time_scale-fold fewer events.
             Benches report latencies divided back by time_scale.
+        call_timeout: deprecated — use ``ResilienceConfig(call_timeout=...)``.
         seed: root seed for every RNG substream.
     """
 
@@ -73,11 +86,42 @@ class ClusterConfig:
     seed: int = 0
 
 
+class _ClientRequest:
+    """In-flight bookkeeping for one resilient client request.
+
+    One instance spans every dispatch attempt; per-attempt artifacts
+    (call id, timer, trace context) are re-created by
+    :meth:`ActorRuntime._dispatch_attempt`.
+    """
+
+    __slots__ = ("ref", "method", "args", "size", "response_size",
+                 "on_complete", "idempotent", "t0", "deadline_at",
+                 "attempts", "call_id", "admitted", "backoff_timer")
+
+    def __init__(self, ref: ActorRef, method: str, args: tuple, size: int,
+                 response_size: int, on_complete, idempotent: bool,
+                 t0: float, deadline_at: Optional[float]):
+        self.ref = ref
+        self.method = method
+        self.args = args
+        self.size = size
+        self.response_size = response_size
+        self.on_complete = on_complete
+        self.idempotent = idempotent
+        self.t0 = t0
+        self.deadline_at = deadline_at
+        self.attempts = 0
+        self.call_id = -1
+        self.admitted = False
+        self.backoff_timer = None
+
+
 class ActorRuntime:
     """An Orleans-like cluster over the discrete-event simulator."""
 
     def __init__(self, config: Optional[ClusterConfig] = None,
-                 sim: Optional[Simulator] = None):
+                 sim: Optional[Simulator] = None,
+                 resilience: Optional[ResilienceConfig] = None):
         self.config = config or ClusterConfig()
         if self.config.num_servers < 1:
             raise ValueError("need at least one server")
@@ -89,10 +133,25 @@ class ActorRuntime:
         self.time_scale = ts
         self.serialization = self.config.serialization.scaled(ts)
         self.resume_compute = self.config.resume_compute * ts
+
+        resilience = self._fold_deprecated_config(resilience)
+        self.resilience = resilience
+        self.retry_policy = resilience.retry if resilience else None
+        self.admission = resilience.admission if resilience else None
         self.call_timeout = (
-            self.config.call_timeout * ts
-            if self.config.call_timeout is not None else None
+            resilience.call_timeout * ts
+            if resilience is not None and resilience.call_timeout is not None
+            else None
         )
+        self.request_deadline = (
+            resilience.request_deadline * ts
+            if resilience is not None and resilience.request_deadline is not None
+            else None
+        )
+        self.max_receiver_queue = (
+            self.admission.receiver_queue if self.admission is not None else None
+        )
+
         self.network = Network(
             self.sim,
             self.rng,
@@ -110,6 +169,11 @@ class ActorRuntime:
         self._client_traces: dict[int, Any] = {}
         self.silos = [Silo(self, i) for i in range(self.config.num_servers)]
         self._gateway_rng = self.rng.stream("client.gateway")
+        self._retry_rng = None  # lazily created "resilience.retry" stream
+        if self.admission is not None and self.admission.stage_soft_limit:
+            for silo in self.silos:
+                for stage in silo.server.stages.values():
+                    stage.soft_limit = self.admission.stage_soft_limit
         if self.config.idle_collection_age is not None:
             self.sim.schedule(self.config.idle_collection_period,
                               self._idle_collection_tick)
@@ -126,8 +190,38 @@ class ActorRuntime:
         self.rejected_requests = 0
         self.requests_completed = 0
         self.requests_timed_out = 0
+        self.requests_shed = 0
+        self.request_retries = 0
+        self.late_responses = 0
+        self.failovers = 0
         self._client_hooks: dict[int, Callable[[float, Any], None]] = {}
         self._client_timers: dict[int, Any] = {}
+        # call_id -> _ClientRequest (resilient) or None (fast path).
+        # Responses whose call id is absent are late or duplicated and
+        # get discarded (counted in late_responses), never double-completed.
+        self._inflight: dict[int, Optional[_ClientRequest]] = {}
+        # Admission window: insertion-ordered, so drop_oldest is O(1).
+        self._admitted: dict[_ClientRequest, None] = {}
+
+    def _fold_deprecated_config(
+        self, resilience: Optional[ResilienceConfig]
+    ) -> Optional[ResilienceConfig]:
+        """Deprecation shim for ClusterConfig.{call_timeout,max_receiver_queue}."""
+        cfg = self.config
+        if cfg.call_timeout is None and cfg.max_receiver_queue is None:
+            return resilience
+        warnings.warn(
+            "ClusterConfig.call_timeout and ClusterConfig.max_receiver_queue "
+            "are deprecated; pass ResilienceConfig(call_timeout=..., "
+            "admission=AdmissionConfig(receiver_queue=...)) instead",
+            DeprecationWarning, stacklevel=3,
+        )
+        if resilience is not None:
+            return resilience  # explicit config wins over deprecated knobs
+        admission = (AdmissionConfig(receiver_queue=cfg.max_receiver_queue)
+                     if cfg.max_receiver_queue is not None else None)
+        return ResilienceConfig(call_timeout=cfg.call_timeout,
+                                admission=admission)
 
     # ------------------------------------------------------------------
     # Setup
@@ -212,54 +306,121 @@ class ActorRuntime:
         size: int = 256,
         response_size: int = 256,
         on_complete: Optional[Callable[[float, Any], None]] = None,
+        idempotent: bool = True,
     ) -> None:
         """Issue one external client request toward an actor.
 
         Latency (request creation to response delivery at the client) is
         recorded in :attr:`client_latency`; ``on_complete(latency,
-        result)`` fires as well if given.
+        result)`` fires as well if given — with an
+        :class:`~repro.actor.errors.ActorError` result on timeout or
+        shed.  ``idempotent=False`` marks the request unsafe to
+        re-dispatch; the retry policy honours it.
         """
+        if self.resilience is None:
+            # Fast path: bit-identical to a runtime without the
+            # resilience layer (same calls, same order, no extra draws).
+            gateway = self.silos[self.pick_live_server(
+                self._gateway_rng.randrange(self.num_servers))]
+            destination = gateway._resolve_or_place(ref.id)
+            call_id = next_call_id()
+            obs = self.obs
+            ctx = (obs.tracer.begin_request(f"{ref.id}.{method}")
+                   if obs is not None else None)
+            message = Message(
+                kind=MessageKind.CLIENT_REQUEST,
+                target=ref.id,
+                method=method,
+                args=args,
+                size=size,
+                call_id=call_id,
+                created_at=self.sim.now,
+                response_size=response_size,
+                trace=ctx,
+            )
+            self._inflight[call_id] = None
+            if ctx is not None:
+                self._client_traces[call_id] = ctx
+            if on_complete is not None:
+                self._client_hooks[call_id] = on_complete
+            latency = self.network.deliver(
+                size, self.silos[destination].deliver, message,
+                dst=destination)
+            if ctx is not None:
+                obs.tracer.network_hop(ctx, None, destination, size, latency)
+            return
+
+        now = self.sim.now
+        deadline_at = (now + self.request_deadline
+                       if self.request_deadline is not None else None)
+        state = _ClientRequest(ref, method, args, size, response_size,
+                               on_complete, idempotent, now, deadline_at)
+        if not self._admit(state):
+            return
+        self._dispatch_attempt(state)
+
+    def _dispatch_attempt(self, state: _ClientRequest) -> None:
+        """One dispatch of a resilient request (first try or retry)."""
+        state.attempts += 1
         gateway = self.silos[self.pick_live_server(
             self._gateway_rng.randrange(self.num_servers))]
-        destination = gateway._resolve_or_place(ref.id)
+        destination = gateway._resolve_or_place(state.ref.id)
         call_id = next_call_id()
+        state.call_id = call_id
+        self._inflight[call_id] = state
         obs = self.obs
-        ctx = (obs.tracer.begin_request(f"{ref.id}.{method}")
+        ctx = (obs.tracer.begin_request(f"{state.ref.id}.{state.method}")
                if obs is not None else None)
         message = Message(
             kind=MessageKind.CLIENT_REQUEST,
-            target=ref.id,
-            method=method,
-            args=args,
-            size=size,
+            target=state.ref.id,
+            method=state.method,
+            args=state.args,
+            size=state.size,
             call_id=call_id,
             created_at=self.sim.now,
-            response_size=response_size,
+            response_size=state.response_size,
             trace=ctx,
         )
         if ctx is not None:
             self._client_traces[call_id] = ctx
-        if on_complete is not None:
-            self._client_hooks[call_id] = on_complete
-        if self.call_timeout is not None:
+        if state.on_complete is not None:
+            self._client_hooks[call_id] = state.on_complete
+        timeout = self.call_timeout
+        if state.deadline_at is not None:
+            remaining = max(state.deadline_at - self.sim.now, 0.0)
+            timeout = remaining if timeout is None else min(timeout, remaining)
+        if timeout is not None:
             self._client_timers[call_id] = self.sim.schedule(
-                self.call_timeout, self._client_request_timed_out,
-                call_id, ref.id, method,
+                timeout, self._client_request_timed_out,
+                call_id, state.ref.id, state.method,
             )
         latency = self.network.deliver(
-            size, self.silos[destination].deliver, message)
+            state.size, self.silos[destination].deliver, message,
+            dst=destination)
         if ctx is not None:
-            obs.tracer.network_hop(ctx, None, destination, size, latency)
+            obs.tracer.network_hop(ctx, None, destination, state.size, latency)
 
     def complete_client_request(self, response: Message) -> None:
         """Called when a client response leaves the cluster (post-network)."""
+        state = self._inflight.pop(response.call_id, _MISSING)
+        if state is _MISSING:
+            # Late (the request already timed out / was shed) or a
+            # network-duplicated delivery: discard, never double-complete.
+            self.late_responses += 1
+            return
         timer = self._client_timers.pop(response.call_id, None)
         if timer is not None:
             timer.cancel()
         ctx = self._client_traces.pop(response.call_id, None)
         if ctx is not None and self.obs is not None:
             self.obs.tracer.end_request(ctx)
-        latency = self.sim.now - response.created_at
+        if state is None:
+            latency = self.sim.now - response.created_at
+        else:
+            # Retried requests measure from first issue, not last attempt.
+            latency = self.sim.now - state.t0
+            self._release(state)
         self.client_latency.record(latency)
         self.client_latency_hist.record(latency)
         self.requests_completed += 1
@@ -268,13 +429,36 @@ class ActorRuntime:
             hook(latency, response.result)
 
     def _client_request_timed_out(self, call_id: int, target, method: str) -> None:
-        from .errors import CallTimeout
-
+        state = self._inflight.pop(call_id, _MISSING)
+        if state is _MISSING:
+            return  # already resolved; stale timer
         self._client_timers.pop(call_id, None)
         ctx = self._client_traces.pop(call_id, None)
+        if state is not None and self._should_retry(state):
+            # This attempt is dead (its late response, if any, will be
+            # discarded via _inflight); the request lives on.
+            if ctx is not None and self.obs is not None:
+                self.obs.tracer.end_request(ctx, error="timeout")
+            self._client_hooks.pop(call_id, None)
+            backoff = self.retry_policy.delay_for(
+                state.attempts, self._retry_stream()) * self.time_scale
+            if state.deadline_at is not None:
+                backoff = min(backoff, max(state.deadline_at - self.sim.now,
+                                           0.0))
+            self.request_retries += 1
+            obs = self.obs
+            if obs is not None:
+                obs.events.emit(RetryEvent(
+                    self.sim.now, target=str(target), method=method,
+                    attempt=state.attempts, backoff=backoff))
+            state.backoff_timer = self.sim.schedule(
+                backoff, self._retry_attempt, state)
+            return
         if ctx is not None and self.obs is not None:
             self.obs.tracer.end_request(ctx, error="timeout")
         self.requests_timed_out += 1
+        if state is not None:
+            self._release(state)
         hook = self._client_hooks.pop(call_id, None)
         if hook is not None:
             hook(
@@ -282,6 +466,88 @@ class ActorRuntime:
                 CallTimeout(target, method,
                             (self.call_timeout or 0.0) / self.time_scale),
             )
+
+    def _should_retry(self, state: _ClientRequest) -> bool:
+        policy = self.retry_policy
+        if policy is None or state.attempts >= policy.max_attempts:
+            return False
+        if policy.idempotent_only and not state.idempotent:
+            return False
+        if state.deadline_at is not None and self.sim.now >= state.deadline_at:
+            return False
+        return True
+
+    def _retry_attempt(self, state: _ClientRequest) -> None:
+        state.backoff_timer = None
+        self._dispatch_attempt(state)
+
+    def _retry_stream(self):
+        if self._retry_rng is None:
+            self._retry_rng = self.rng.stream("resilience.retry")
+        return self._retry_rng
+
+    # ------------------------------------------------------------------
+    # Admission control (graceful degradation under overload)
+    # ------------------------------------------------------------------
+    def _admit(self, state: _ClientRequest) -> bool:
+        admission = self.admission
+        if admission is None or admission.capacity is None:
+            return True
+        if len(self._admitted) < admission.capacity:
+            self._admitted[state] = None
+            state.admitted = True
+            return True
+        if admission.policy == "reject":
+            self._shed(state, "reject", victim_age=0.0)
+            return False
+        # drop_oldest: abandon the stalest in-flight request, admit new.
+        victim = next(iter(self._admitted))
+        self._abandon(victim)
+        self._admitted[state] = None
+        state.admitted = True
+        return True
+
+    def _abandon(self, victim: _ClientRequest) -> None:
+        """Evict an in-flight request from the admission window."""
+        del self._admitted[victim]
+        victim.admitted = False
+        if victim.backoff_timer is not None:
+            victim.backoff_timer.cancel()
+            victim.backoff_timer = None
+        else:
+            self._inflight.pop(victim.call_id, None)
+            timer = self._client_timers.pop(victim.call_id, None)
+            if timer is not None:
+                timer.cancel()
+        ctx = self._client_traces.pop(victim.call_id, None)
+        if ctx is not None and self.obs is not None:
+            self.obs.tracer.end_request(ctx, error="shed")
+        self._client_hooks.pop(victim.call_id, None)
+        self._shed(victim, "drop_oldest",
+                   victim_age=self.sim.now - victim.t0)
+
+    def _shed(self, state: _ClientRequest, policy: str,
+              victim_age: float) -> None:
+        self.requests_shed += 1
+        obs = self.obs
+        if obs is not None:
+            obs.events.emit(ShedEvent(
+                self.sim.now, target=str(state.ref.id), method=state.method,
+                policy=policy, victim_age=victim_age))
+        if state.on_complete is not None:
+            state.on_complete(
+                victim_age,
+                RequestShed(state.ref.id, state.method, policy))
+
+    def _release(self, state: _ClientRequest) -> None:
+        if state.admitted:
+            self._admitted.pop(state, None)
+            state.admitted = False
+
+    @property
+    def inflight_requests(self) -> int:
+        """Client requests currently between issue and outcome."""
+        return len(self._inflight)
 
     # ------------------------------------------------------------------
     # Measurement hooks

@@ -29,6 +29,7 @@ from typing import Any, Optional
 from ..obs.events import (
     ActivationEvent,
     DeactivationEvent,
+    FailoverEvent,
     MigrationEvent,
     SiloLifecycleEvent,
 )
@@ -110,7 +111,7 @@ class Silo:
         """A message arrives off the wire: deserialize, then route."""
         if self.dead:
             return  # dropped on the floor; callers' timeouts handle it
-        cap = self.runtime.config.max_receiver_queue
+        cap = self.runtime.max_receiver_queue
         if (
             cap is not None
             and message.kind is MessageKind.CLIENT_REQUEST
@@ -177,7 +178,14 @@ class Silo:
             self.placements_new += 1
         if self.runtime.silos[destination].dead:
             # Membership view: never place onto a failed silo.
+            dead = destination
             destination = self.runtime.pick_live_server(preferred=self.server_id)
+            self.runtime.failovers += 1
+            obs = self.runtime.obs
+            if obs is not None:
+                obs.events.emit(FailoverEvent(
+                    self.sim.now, actor=str(target), dead_server=dead,
+                    new_server=destination))
         self.runtime.activate(target, destination)
         return destination
 
@@ -210,7 +218,9 @@ class Silo:
         if self.dead:
             return
         silo = self.runtime.silos[destination]
-        latency = self.runtime.network.deliver(message.size, silo.deliver, message)
+        latency = self.runtime.network.deliver(message.size, silo.deliver,
+                                               message, src=self.server_id,
+                                               dst=destination)
         ctx = message.trace
         if ctx is not None:
             obs = self.runtime.obs
@@ -451,7 +461,8 @@ class Silo:
         if self.dead:
             return
         latency = self.runtime.network.deliver(
-            response.size, self.runtime.complete_client_request, response
+            response.size, self.runtime.complete_client_request, response,
+            src=self.server_id,
         )
         ctx = response.trace
         if ctx is not None:

@@ -22,8 +22,12 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..actor.runtime import ActorRuntime, ClusterConfig
-from ..core.actop import ActOp, ThreadControllerConfig
+from ..cluster import Cluster, build_cluster
+from ..core.actop import ActOp, ActOpConfig, ThreadControllerConfig
 from ..core.partitioning.coordinator import PartitioningConfig
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
+from ..faults.resilience import AdmissionConfig, ResilienceConfig
 from ..workloads.counter import CounterConfig, CounterWorkload
 from ..workloads.halo import HaloConfig, HaloWorkload
 from ..workloads.heartbeat import HeartbeatConfig, HeartbeatWorkload
@@ -92,6 +96,10 @@ class ExperimentResult:
     remote_fraction: float
     migrations: int
     rejected: int
+    timed_out: int = 0
+    shed: int = 0
+    retries: int = 0
+    failovers: int = 0
     thread_allocation: dict[str, int] = field(default_factory=dict)
     cdf: list[tuple[float, float]] = field(default_factory=list)
     call_median: float = 0.0
@@ -140,6 +148,10 @@ class _ExperimentBase:
         local0, remote0 = rt.msgs_local, rt.msgs_remote
         migrations0 = rt.migrations_total
         rejected0 = rt.rejected_requests
+        timed_out0 = rt.requests_timed_out
+        shed0 = rt.requests_shed
+        retries0 = rt.request_retries
+        failovers0 = rt.failovers
         busy0 = rt.cpu_busy_snapshot()
         t0 = rt.sim.now
         rt.run(until=warmup + duration)
@@ -162,6 +174,10 @@ class _ExperimentBase:
             remote_fraction=d_remote / total_msgs if total_msgs else 0.0,
             migrations=rt.migrations_total - migrations0,
             rejected=rt.rejected_requests - rejected0,
+            timed_out=rt.requests_timed_out - timed_out0,
+            shed=rt.requests_shed - shed0,
+            retries=rt.request_retries - retries0,
+            failovers=rt.failovers - failovers0,
             thread_allocation=rt.silos[0].server.thread_allocation(),
             cdf=[(v / ts, q) for v, q in lat.cdf(cdf_points)] if cdf_points else [],
             call_median=(call.median if has_calls else 0.0) / ts,
@@ -183,6 +199,11 @@ class HaloExperiment(_ExperimentBase):
         partitioning: enable the §4 optimizer.
         thread_allocation: enable the §5 optimizer.
         num_servers / seed / time_scale: infrastructure knobs.
+        resilience: retry/deadline/admission policies (None = off).
+        faults: a fault plan armed when the experiment starts.
+        max_receiver_queue: shorthand for
+            ``ResilienceConfig(admission=AdmissionConfig(receiver_queue=...))``;
+            ignored when ``resilience`` is given explicitly.
     """
 
     def __init__(
@@ -195,26 +216,39 @@ class HaloExperiment(_ExperimentBase):
         seed: int = 1,
         time_scale: float = HALO_TIME_SCALE,
         max_receiver_queue: Optional[int] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        faults: Optional[FaultPlan] = None,
         label: Optional[str] = None,
     ):
-        config = ClusterConfig(
-            num_servers=num_servers,
-            seed=seed,
-            time_scale=time_scale,
-            max_receiver_queue=max_receiver_queue,
+        if resilience is None and max_receiver_queue is not None:
+            resilience = ResilienceConfig(
+                admission=AdmissionConfig(receiver_queue=max_receiver_queue))
+        actop_config = ActOpConfig(
+            partitioning=halo_partitioning_config() if partitioning else None,
+            thread_allocation=(halo_thread_config(time_scale)
+                               if thread_allocation else None),
         )
-        runtime = ActorRuntime(config)
+        cluster = build_cluster(
+            ClusterConfig(num_servers=num_servers, seed=seed,
+                          time_scale=time_scale),
+            resilience=resilience,
+            actop=actop_config if actop_config.enabled else None,
+            faults=faults,
+        )
         super().__init__(
-            runtime,
+            cluster.runtime,
             time_scale,
             label
             or f"halo(load={load_fraction:.2f}, part={partitioning}, thr={thread_allocation})",
         )
+        self.cluster: Cluster = cluster
+        self.actop: Optional[ActOp] = cluster.actop
+        self.injector: Optional[FaultInjector] = cluster.injector
         # Request rate scales with the population so per-actor load is
         # invariant (the paper's 10K/100K/1M sweep holds rate at 4K).
         rate = HALO_RATE_FULL * load_fraction * (players / 2_000.0)
         self.workload = HaloWorkload(
-            runtime,
+            cluster.runtime,
             HaloConfig(
                 target_players=players,
                 pool_target=max(16, players // 50),
@@ -222,15 +256,6 @@ class HaloExperiment(_ExperimentBase):
                 game_duration=(120.0, 180.0),
             ),
         )
-        self.actop: Optional[ActOp] = None
-        if partitioning or thread_allocation:
-            self.actop = ActOp(
-                runtime,
-                partitioning=halo_partitioning_config() if partitioning else None,
-                thread_allocation=halo_thread_config(time_scale)
-                if thread_allocation
-                else None,
-            )
 
     def run(
         self,
@@ -240,8 +265,7 @@ class HaloExperiment(_ExperimentBase):
         cdf_points: int = 0,
     ) -> ExperimentResult:
         self.workload.start()
-        if self.actop is not None:
-            self.actop.start()
+        self.cluster.start()
         return self._measure(warmup, duration, sample_period, cdf_points)
 
 
@@ -256,35 +280,39 @@ class HeartbeatExperiment(_ExperimentBase):
         io_wait: float = 0.0,
         seed: int = 3,
         time_scale: float = HEARTBEAT_TIME_SCALE,
+        resilience: Optional[ResilienceConfig] = None,
+        faults: Optional[FaultPlan] = None,
         label: Optional[str] = None,
     ):
-        runtime = ActorRuntime(
-            ClusterConfig(num_servers=1, seed=seed, time_scale=time_scale)
+        cluster = build_cluster(
+            ClusterConfig(num_servers=1, seed=seed, time_scale=time_scale),
+            resilience=resilience,
+            actop=(ActOpConfig(
+                thread_allocation=heartbeat_thread_config(time_scale))
+                if thread_allocation else None),
+            faults=faults,
         )
         super().__init__(
-            runtime,
+            cluster.runtime,
             time_scale,
             label or f"heartbeat(rate={request_rate:.0f}, thr={thread_allocation})",
         )
+        self.cluster: Cluster = cluster
+        self.actop: Optional[ActOp] = cluster.actop
+        self.injector: Optional[FaultInjector] = cluster.injector
         self.workload = HeartbeatWorkload(
-            runtime,
+            cluster.runtime,
             HeartbeatConfig(
                 num_monitors=monitors,
                 request_rate=request_rate / time_scale,
                 io_wait=io_wait,
             ),
         )
-        self.actop: Optional[ActOp] = None
-        if thread_allocation:
-            self.actop = ActOp(
-                runtime, thread_allocation=heartbeat_thread_config(time_scale)
-            )
 
     def run(self, warmup: float = 25.0, duration: float = 35.0,
             cdf_points: int = 0) -> ExperimentResult:
         self.workload.start()
-        if self.actop is not None:
-            self.actop.start()
+        self.cluster.start()
         return self._measure(warmup, duration, cdf_points=cdf_points)
 
 
@@ -298,22 +326,31 @@ class CounterExperiment(_ExperimentBase):
         threads: Optional[dict[str, int]] = None,
         seed: int = 7,
         time_scale: float = COUNTER_TIME_SCALE,
+        resilience: Optional[ResilienceConfig] = None,
+        faults: Optional[FaultPlan] = None,
         label: Optional[str] = None,
     ):
-        runtime = ActorRuntime(
-            ClusterConfig(num_servers=1, seed=seed, time_scale=time_scale)
+        cluster = build_cluster(
+            ClusterConfig(num_servers=1, seed=seed, time_scale=time_scale),
+            resilience=resilience,
+            faults=faults,
         )
         super().__init__(
-            runtime, time_scale, label or f"counter(rate={request_rate:.0f})"
+            cluster.runtime, time_scale,
+            label or f"counter(rate={request_rate:.0f})"
         )
+        self.cluster: Cluster = cluster
+        self.actop: Optional[ActOp] = cluster.actop
+        self.injector: Optional[FaultInjector] = cluster.injector
         self.workload = CounterWorkload(
-            runtime,
+            cluster.runtime,
             CounterConfig(num_actors=actors, request_rate=request_rate / time_scale),
         )
         if threads:
-            runtime.silos[0].server.apply_allocation(threads)
+            cluster.runtime.silos[0].server.apply_allocation(threads)
 
     def run(self, warmup: float = 10.0, duration: float = 20.0,
             cdf_points: int = 0) -> ExperimentResult:
         self.workload.start()
+        self.cluster.start()
         return self._measure(warmup, duration, cdf_points=cdf_points)

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands expose the main experiment drivers without writing any
+Six subcommands expose the main experiment drivers without writing any
 code:
 
 * ``halo``       — the cluster workload A/B (random vs ActOp), §6.1-style;
@@ -11,13 +11,17 @@ code:
 * ``trace``      — run a workload with :mod:`repro.obs` causal tracing,
   export a Chrome trace-event file (loadable in Perfetto or
   ``chrome://tracing``), and cross-check the trace-derived latency
-  breakdown against the stage recorders.
+  breakdown against the stage recorders;
+* ``faults``     — a chaos run: Halo under a :mod:`repro.faults` plan
+  (silo kills/recoveries, link degradation) with client-side resilience,
+  reporting pre/during/post windows and whether the cluster's
+  remote-message fraction re-converged after recovery.
 
 Each prints a result table to stdout; a run that produced no usable
-result exits non-zero.  ``perf`` and ``trace`` share the ``--json PATH``
-convention (``'-'`` writes pure JSON to stdout, the table to stderr).
-They are smoke-level entry points (the full reproduction lives in
-``benchmarks/``).
+result exits non-zero.  ``perf``, ``trace``, and ``faults`` share the
+``--json PATH`` convention (``'-'`` writes pure JSON to stdout, the
+table to stderr).  They are smoke-level entry points (the full
+reproduction lives in ``benchmarks/``).
 """
 
 from __future__ import annotations
@@ -42,6 +46,57 @@ from .graph.streaming import streaming_partition
 __all__ = ["main", "build_parser"]
 
 
+# ----------------------------------------------------------------------
+# Shared flag groups.  Several subcommands drive the same Halo cluster
+# at the same knobs; argparse parents keep the flags (and their help)
+# defined once while letting each subcommand pick its own defaults.
+# ----------------------------------------------------------------------
+def _scale_parent(players: int, servers: int, seed: int) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--players", type=int, default=players,
+                        help="halo: concurrent player target")
+    parent.add_argument("--servers", type=int, default=servers,
+                        help="halo: cluster size")
+    parent.add_argument("--seed", type=int, default=seed)
+    return parent
+
+
+def _window_parent(warmup: Optional[float],
+                   duration: float) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--warmup", type=float, default=warmup,
+                        help="simulated warmup seconds before measurement"
+                             + (" (default: equal to --duration)"
+                                if warmup is None else ""))
+    parent.add_argument("--duration", type=float, default=duration,
+                        help="simulated seconds per measurement window")
+    return parent
+
+
+def _silo_at(spec: str) -> tuple[int, float]:
+    """Parse ``SILO@T`` (e.g. ``3@5`` = silo 3, five seconds in)."""
+    try:
+        silo, _, at = spec.partition("@")
+        return int(silo), float(at)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected SILO@T (e.g. 3@5), got {spec!r}")
+
+
+def _drop_spec(spec: str) -> tuple[float, Optional[float], Optional[float]]:
+    """Parse ``PROB[@T1:T2]`` (window defaults to the whole fault phase)."""
+    prob, _, window = spec.partition("@")
+    try:
+        p = float(prob)
+        if not window:
+            return p, None, None
+        t1, _, t2 = window.partition(":")
+        return p, float(t1), float(t2)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected PROB or PROB@T1:T2 (e.g. 0.3@5:15), got {spec!r}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -51,14 +106,12 @@ def build_parser() -> argparse.ArgumentParser:
                         version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    halo = sub.add_parser("halo", help="Halo Presence cluster A/B")
-    halo.add_argument("--players", type=int, default=1_000)
+    halo = sub.add_parser(
+        "halo", help="Halo Presence cluster A/B",
+        parents=[_scale_parent(players=1_000, servers=10, seed=1),
+                 _window_parent(warmup=None, duration=60.0)])
     halo.add_argument("--load", type=float, default=1.0,
                       help="fraction of the 80%%-CPU operating point")
-    halo.add_argument("--servers", type=int, default=10)
-    halo.add_argument("--duration", type=float, default=60.0,
-                      help="measurement seconds (after an equal warmup)")
-    halo.add_argument("--seed", type=int, default=1)
     halo.add_argument("--no-baseline", action="store_true",
                       help="run only the ActOp configuration")
     halo.add_argument("--threads", action="store_true",
@@ -88,21 +141,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace = sub.add_parser(
         "trace",
-        help="run a workload under causal tracing; export a Chrome trace")
+        help="run a workload under causal tracing; export a Chrome trace",
+        parents=[_scale_parent(players=200, servers=4, seed=1),
+                 _window_parent(warmup=5.0, duration=10.0)])
     trace.add_argument("--workload", choices=("halo", "heartbeat", "counter"),
                        default="halo")
-    trace.add_argument("--players", type=int, default=200,
-                       help="halo: concurrent player target")
-    trace.add_argument("--servers", type=int, default=4,
-                       help="halo: cluster size")
     trace.add_argument("--rate", type=float, default=None,
                        help="heartbeat/counter: paper-equivalent req/s "
                             "(default: the bench's calibrated rate)")
-    trace.add_argument("--warmup", type=float, default=5.0,
-                       help="simulated warmup seconds before the traced window")
-    trace.add_argument("--duration", type=float, default=10.0,
-                       help="simulated seconds of the traced window")
-    trace.add_argument("--seed", type=int, default=1)
     trace.add_argument("--sample", type=float, default=1.0,
                        help="fraction of requests to trace (systematic "
                             "sampling; the recorder cross-check needs 1.0)")
@@ -115,6 +161,47 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also stream spans+events as JSON lines to PATH")
     trace.add_argument("--json", dest="json_path", metavar="PATH",
                        help="write the summary JSON here ('-' for stdout)")
+
+    faults = sub.add_parser(
+        "faults",
+        help="chaos run: Halo under a fault plan with client resilience",
+        parents=[_scale_parent(players=1_000, servers=10, seed=1),
+                 _window_parent(warmup=20.0, duration=20.0)])
+    faults.add_argument("--load", type=float, default=0.7,
+                        help="fraction of the 80%%-CPU operating point "
+                             "(below saturation so recovery is attributable "
+                             "to the fault, not queueing)")
+    faults.add_argument("--kill", action="append", type=_silo_at, default=[],
+                        metavar="SILO@T",
+                        help="crash SILO T seconds into the fault phase "
+                             "(repeatable; default plan: --kill 1@5 "
+                             "--recover 1@15 when no fault flags are given)")
+    faults.add_argument("--recover", action="append", type=_silo_at,
+                        default=[], metavar="SILO@T",
+                        help="restart SILO T seconds into the fault phase "
+                             "(repeatable)")
+    faults.add_argument("--drop", action="append", type=_drop_spec,
+                        default=[], metavar="PROB[@T1:T2]",
+                        help="drop each message with probability PROB during "
+                             "[T1, T2) of the fault phase (repeatable; "
+                             "default window: the whole phase)")
+    faults.add_argument("--settle", type=float, default=10.0,
+                        help="seconds between the last fault event and the "
+                             "post-recovery window")
+    faults.add_argument("--timeout", type=float, default=0.5,
+                        help="per-attempt call timeout, paper seconds")
+    faults.add_argument("--retries", type=int, default=3,
+                        help="max attempts per request (1 disables retry)")
+    faults.add_argument("--admission", type=int, default=None, metavar="N",
+                        help="cap concurrent in-flight client requests at N "
+                             "(default: unbounded)")
+    faults.add_argument("--shed-policy", choices=("reject", "drop_oldest"),
+                        default="reject",
+                        help="what to do at the admission cap")
+    faults.add_argument("--actop", action="store_true",
+                        help="enable both ActOp optimizers")
+    faults.add_argument("--json", dest="json_path", metavar="PATH",
+                        help="write the summary JSON here ('-' for stdout)")
 
     part = sub.add_parser("partition", help="offline partitioner comparison")
     part.add_argument("--graph", choices=("clustered", "powerlaw", "random"),
@@ -147,7 +234,8 @@ def _run_halo(args: argparse.Namespace) -> int:
             seed=args.seed,
             label=label,
         )
-        result = exp.run(warmup=args.duration, duration=args.duration)
+        warmup = args.duration if args.warmup is None else args.warmup
+        result = exp.run(warmup=warmup, duration=args.duration)
         results[label] = result
         rows.append([
             label, result.median * 1e3, result.p95 * 1e3, result.p99 * 1e3,
@@ -351,6 +439,159 @@ def _run_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_faults(args: argparse.Namespace) -> int:
+    import json
+
+    from .faults import (
+        AdmissionConfig,
+        FaultPlan,
+        ResilienceConfig,
+        RetryPolicy,
+    )
+
+    kills = list(args.kill)
+    recovers = list(args.recover)
+    drops = list(args.drop)
+    if not (kills or recovers or drops):
+        kills = [(1, 5.0)]
+        recovers = [(1, 15.0)]
+
+    event_times = [t for _, t in kills + recovers]
+    event_times += [t2 for _, _, t2 in drops if t2 is not None]
+    fault_len = max(event_times, default=0.0) + args.settle
+
+    # The timeline is warmup | pre window | fault phase | post window;
+    # fault-flag times count from the start of the fault phase, and plan
+    # times are absolute simulator seconds, so shift by the offset.
+    offset = args.warmup + args.duration
+    plan = FaultPlan()
+    for silo, t in kills:
+        plan.crash(offset + t, silo)
+    for silo, t in recovers:
+        plan.restart(offset + t, silo)
+    for prob, t1, t2 in drops:
+        plan.degrade(offset + (t1 or 0.0),
+                     offset + (t2 if t2 is not None else fault_len),
+                     drop=prob)
+
+    resilience = ResilienceConfig(
+        call_timeout=args.timeout,
+        retry=(RetryPolicy(max_attempts=args.retries)
+               if args.retries > 1 else None),
+        admission=(AdmissionConfig(capacity=args.admission,
+                                   policy=args.shed_policy)
+                   if args.admission else None),
+    )
+    exp = HaloExperiment(
+        load_fraction=args.load, players=args.players,
+        partitioning=args.actop, thread_allocation=args.actop,
+        num_servers=args.servers, seed=args.seed,
+        resilience=resilience, faults=plan, label="faults",
+    )
+    rt = exp.runtime
+    exp.workload.start()
+    exp.cluster.start()
+    rt.run(until=args.warmup)
+
+    def measure(until: float) -> dict:
+        rt.reset_latency_stats()
+        local0, remote0 = rt.msgs_local, rt.msgs_remote
+        timed0, retried0 = rt.requests_timed_out, rt.request_retries
+        shed0, failed0 = rt.requests_shed, rt.failovers
+        rt.run(until=until)
+        lat = rt.client_latency
+        d_remote = rt.msgs_remote - remote0
+        total = (rt.msgs_local - local0) + d_remote
+        ts = exp.time_scale
+        return {
+            "requests": lat.count,
+            "median_ms": 1e3 * (lat.median if lat.count else 0.0) / ts,
+            "p99_ms": 1e3 * (lat.p99 if lat.count else 0.0) / ts,
+            "remote_fraction": d_remote / total if total else 0.0,
+            "timed_out": rt.requests_timed_out - timed0,
+            "retries": rt.request_retries - retried0,
+            "shed": rt.requests_shed - shed0,
+            "failovers": rt.failovers - failed0,
+        }
+
+    pre = measure(offset)
+    during = measure(offset + fault_len)
+    post = measure(offset + fault_len + args.duration)
+
+    # Recovery criterion: the remote-message fraction — the cluster's
+    # locality fingerprint — must land back within 10% of its pre-fault
+    # value (absolute floor 0.02 for near-zero baselines).
+    pre_rf, post_rf = pre["remote_fraction"], post["remote_fraction"]
+    recovered = abs(post_rf - pre_rf) <= max(0.10 * pre_rf, 0.02)
+
+    injector = exp.injector
+    summary = {
+        "schema": 1,
+        "workload": "halo",
+        "seed": args.seed,
+        "players": args.players,
+        "servers": args.servers,
+        "load": args.load,
+        "actop": args.actop,
+        "plan": {
+            "actions": len(plan),
+            "kills": [[s, t] for s, t in kills],
+            "recovers": [[s, t] for s, t in recovers],
+            "drops": [[p, t1, t2] for p, t1, t2 in drops],
+        },
+        "resilience": {
+            "call_timeout": args.timeout,
+            "max_attempts": args.retries,
+            "admission": args.admission,
+            "shed_policy": args.shed_policy,
+        },
+        "windows": {"pre": pre, "fault": during, "post": post},
+        "faults_started": injector.faults_started if injector else 0,
+        "faults_ended": injector.faults_ended if injector else 0,
+        "inflight_at_end": rt.inflight_requests,
+        "remote_fraction_drift": abs(post_rf - pre_rf),
+        "recovered": recovered,
+    }
+
+    out = sys.stderr if args.json_path == "-" else sys.stdout
+    rows = [
+        [name, w["requests"], w["median_ms"], w["p99_ms"],
+         100 * w["remote_fraction"], w["timed_out"], w["retries"],
+         w["shed"], w["failovers"]]
+        for name, w in (("pre-fault", pre), ("fault", during),
+                        ("post-recovery", post))
+    ]
+    print(render_table(
+        ["window", "requests", "median ms", "p99 ms", "remote %",
+         "timeouts", "retries", "shed", "failovers"],
+        rows,
+        title=f"faults — {len(plan)} planned actions, {args.servers} "
+              f"servers, load {args.load:.2f}",
+    ), file=out)
+    verdict = "recovered" if recovered else "NOT recovered"
+    print(f"\nremote fraction: pre {pre_rf:.3f} -> post {post_rf:.3f} "
+          f"({verdict}; tolerance 10%), {rt.inflight_requests} requests "
+          f"still in flight", file=out)
+
+    if args.json_path == "-":
+        print(json.dumps(summary, indent=2))
+    elif args.json_path:
+        with open(args.json_path, "w") as fh:
+            json.dump(summary, fh, indent=2)
+            fh.write("\n")
+        print(f"summary JSON written to {args.json_path}", file=out)
+
+    if pre["requests"] == 0 or post["requests"] == 0:
+        print("faults failed: a measurement window completed no requests",
+              file=sys.stderr)
+        return 1
+    if not recovered:
+        print(f"faults failed: remote fraction did not re-converge "
+              f"(pre {pre_rf:.3f}, post {post_rf:.3f})", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_perf(args: argparse.Namespace) -> int:
     from .bench import perf
 
@@ -396,6 +637,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_perf(args)
     if args.command == "trace":
         return _run_trace(args)
+    if args.command == "faults":
+        return _run_faults(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -2,12 +2,13 @@
 latency-optimized thread allocation (§5), and the integrated ActOp
 runtime optimizer (§6)."""
 
-from .actop import ActOp, ThreadControllerConfig
+from .actop import ActOp, ActOpConfig, ThreadControllerConfig
 from .partitioning import OfflinePartitioner, PartitionAgent, PartitioningConfig
 from .threads import ModelBasedController, QueueLengthController, ThreadAllocationProblem
 
 __all__ = [
     "ActOp",
+    "ActOpConfig",
     "ModelBasedController",
     "OfflinePartitioner",
     "PartitionAgent",

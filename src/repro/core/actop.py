@@ -9,10 +9,16 @@ Attaches the paper's two mechanisms to a running cluster:
 
 Either can be enabled alone — the evaluation benches exercise all three
 combinations, mirroring Figs. 10, 11(a) and 11(b).
+
+Configuration goes through :class:`ActOpConfig`, one of the layered
+configs consumed by :func:`repro.cluster.build_cluster`; the old
+``ActOp(runtime, partitioning=..., thread_allocation=...)`` keyword form
+still works but emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -20,7 +26,7 @@ from ..actor.runtime import ActorRuntime
 from .partitioning.coordinator import PartitionAgent, PartitioningConfig
 from .threads.controller import ModelBasedController
 
-__all__ = ["ThreadControllerConfig", "ActOp"]
+__all__ = ["ThreadControllerConfig", "ActOpConfig", "ActOp"]
 
 
 @dataclass
@@ -35,30 +41,65 @@ class ThreadControllerConfig:
     min_events: int = 50
 
 
+@dataclass
+class ActOpConfig:
+    """What the ActOp optimizer runs: partitioning, threads, or both.
+
+    ``None`` for a field disables that mechanism; an all-``None`` config
+    (``enabled`` False) means "no optimizer" and is what
+    :func:`repro.cluster.build_cluster` treats as "don't build one".
+    """
+
+    partitioning: Optional[PartitioningConfig] = None
+    thread_allocation: Optional[ThreadControllerConfig] = None
+
+    @property
+    def enabled(self) -> bool:
+        return (self.partitioning is not None
+                or self.thread_allocation is not None)
+
+
 class ActOp:
     """The runtime optimizer: partitioning + thread allocation."""
 
     def __init__(
         self,
         runtime: ActorRuntime,
+        config: Optional[ActOpConfig] = None,
+        *,
         partitioning: Optional[PartitioningConfig] = None,
         thread_allocation: Optional[ThreadControllerConfig] = None,
     ):
-        if partitioning is None and thread_allocation is None:
+        if partitioning is not None or thread_allocation is not None:
+            warnings.warn(
+                "ActOp(runtime, partitioning=..., thread_allocation=...) is "
+                "deprecated; pass ActOpConfig(partitioning=..., "
+                "thread_allocation=...) instead",
+                DeprecationWarning, stacklevel=2,
+            )
+            if config is not None:
+                raise ValueError(
+                    "pass either an ActOpConfig or the deprecated keyword "
+                    "arguments, not both")
+            config = ActOpConfig(partitioning=partitioning,
+                                 thread_allocation=thread_allocation)
+        if config is None or not config.enabled:
             raise ValueError("enable at least one of the two optimizations")
+        self.config = config
         self.runtime = runtime
         self.agents: list[PartitionAgent] = []
         self.controllers: list[ModelBasedController] = []
 
-        if partitioning is not None:
+        if config.partitioning is not None:
             for silo in runtime.silos:
-                self.agents.append(PartitionAgent(runtime, silo, partitioning))
+                self.agents.append(
+                    PartitionAgent(runtime, silo, config.partitioning))
             peer_map = {agent.silo.server_id: agent for agent in self.agents}
             for agent in self.agents:
                 agent.peers = peer_map
 
-        if thread_allocation is not None:
-            cfg = thread_allocation
+        if config.thread_allocation is not None:
+            cfg = config.thread_allocation
             for silo in runtime.silos:
                 self.controllers.append(
                     ModelBasedController(

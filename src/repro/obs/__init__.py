@@ -34,9 +34,13 @@ from .events import (
     DeactivationEvent,
     EventLog,
     ExchangeEvent,
+    FailoverEvent,
+    FaultInjectionEvent,
     MigrationEvent,
     PartitionRoundEvent,
+    RetryEvent,
     RuntimeEvent,
+    ShedEvent,
     SiloLifecycleEvent,
     ThreadAllocationEvent,
 )
@@ -65,6 +69,10 @@ __all__ = [
     "PartitionRoundEvent",
     "ExchangeEvent",
     "ThreadAllocationEvent",
+    "FaultInjectionEvent",
+    "RetryEvent",
+    "ShedEvent",
+    "FailoverEvent",
     "EventLog",
     # export
     "CLIENT_PID",

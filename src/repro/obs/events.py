@@ -27,6 +27,10 @@ __all__ = [
     "PartitionRoundEvent",
     "ExchangeEvent",
     "ThreadAllocationEvent",
+    "FaultInjectionEvent",
+    "RetryEvent",
+    "ShedEvent",
+    "FailoverEvent",
     "EventLog",
 ]
 
@@ -129,6 +133,52 @@ class ThreadAllocationEvent(RuntimeEvent):
     alpha: float = 0.0
     feasible: bool = True
     controller: str = "model"  # "model" (§5.3) or "queue" ([34]-style)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultInjectionEvent(RuntimeEvent):
+    """One fault-plan action began or ended (see :mod:`repro.faults`)."""
+
+    KIND: ClassVar[str] = "fault"
+
+    fault: str = ""      # action class name, e.g. "SiloCrash"
+    phase: str = "start"  # "start" or "end"
+    detail: dict[str, Any] = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True, slots=True)
+class RetryEvent(RuntimeEvent):
+    """A timed-out client request was re-dispatched with backoff."""
+
+    KIND: ClassVar[str] = "retry"
+
+    target: str = ""
+    method: str = ""
+    attempt: int = 0      # the attempt that just failed (1-based)
+    backoff: float = 0.0  # scheduled delay before the next attempt
+
+
+@dataclass(frozen=True, slots=True)
+class ShedEvent(RuntimeEvent):
+    """Admission control shed a client request."""
+
+    KIND: ClassVar[str] = "shed"
+
+    target: str = ""
+    method: str = ""
+    policy: str = "reject"   # which shedding policy fired
+    victim_age: float = 0.0  # in-flight time of a drop_oldest victim
+
+
+@dataclass(frozen=True, slots=True)
+class FailoverEvent(RuntimeEvent):
+    """Placement routed around a dead silo (§2 fault tolerance)."""
+
+    KIND: ClassVar[str] = "failover"
+
+    actor: str = ""
+    dead_server: int = 0
+    new_server: int = 0
 
 
 class EventLog:

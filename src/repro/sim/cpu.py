@@ -87,6 +87,11 @@ class CpuPool:
         self.switch_factor = switch_factor
         self.dispatch_overhead = dispatch_overhead
         self.registered_threads = 0
+        # Fault-injection hook: compute runs `throttle`x slower while a
+        # SlowSilo fault is active.  Exactly 1.0 means untouched — the
+        # grant path multiplies only when it differs, so fault-free runs
+        # perform the identical float arithmetic as before.
+        self.throttle = 1.0
 
         self._free = processors
         self._queue: deque[CpuBurst] = deque()
@@ -133,6 +138,8 @@ class CpuPool:
         excess = self.registered_threads - self.processors
         factor = 1.0 + self.switch_factor * excess if excess > 0 else 1.0
         inflated = burst.compute * factor + self.dispatch_overhead
+        if self.throttle != 1.0:
+            inflated *= self.throttle
         burst.inflated = inflated
         self.sim.defer(inflated, self._finish, burst)
 

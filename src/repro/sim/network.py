@@ -10,7 +10,7 @@ lognormal jitter, with deterministic per-link substreams.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 from .engine import Simulator
 from .rng import RngRegistry
@@ -42,6 +42,10 @@ class Network:
         self._rng = rng.stream("network.jitter")
         self.messages_sent = 0
         self.bytes_sent = 0
+        # Optional fault hook (a repro.faults.injector.LinkFaultModel);
+        # installed only when a fault plan has network actions, so the
+        # plain path below stays byte-identical for fault-free runs.
+        self.faults = None
 
     def latency(self) -> float:
         """Draw a one-way delivery latency."""
@@ -54,15 +58,21 @@ class Network:
         size_bytes: int,
         callback: Callable[..., Any],
         *args: Any,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
     ) -> float:
         """Deliver a message: fire ``callback(*args)`` after one latency draw.
 
-        Returns the drawn latency so instrumentation (e.g. the causal
-        tracer's network-hop spans) can report transit time without a
-        second draw.
+        ``src``/``dst`` identify the link endpoints (silo ids; ``None``
+        means the client side) so an installed fault model can target
+        specific links.  Returns the drawn latency so instrumentation
+        (e.g. the causal tracer's network-hop spans) can report transit
+        time without a second draw.
         """
         self.messages_sent += 1
         self.bytes_sent += size_bytes
+        if self.faults is not None:
+            return self.faults.transmit(size_bytes, callback, args, src, dst)
         latency = self.latency()
         self.sim.defer(latency, callback, *args)
         return latency

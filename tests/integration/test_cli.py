@@ -131,3 +131,52 @@ def test_trace_command_fails_without_traffic(capsys, tmp_path):
         "--chrome", str(tmp_path / "chrome.json"),
     ])
     assert code == 1  # no request finished: non-zero exit, per convention
+
+
+def test_faults_command_recovers_and_writes_json(capsys, tmp_path):
+    import json
+
+    out_path = tmp_path / "chaos.json"
+    code = main([
+        "faults", "--players", "300", "--servers", "4",
+        "--warmup", "10", "--duration", "10", "--settle", "5",
+        "--kill", "1@2", "--recover", "1@8",
+        "--json", str(out_path),
+    ])
+    assert code == 0
+    summary = json.loads(out_path.read_text())
+    assert summary["schema"] == 1 and summary["recovered"] is True
+    assert summary["faults_started"] == 2
+    assert set(summary["windows"]) == {"pre", "fault", "post"}
+    assert summary["windows"]["fault"]["failovers"] > 0
+    for window in summary["windows"].values():
+        assert window["requests"] > 0
+    out = capsys.readouterr().out
+    assert "post-recovery" in out and "recovered" in out
+
+
+def test_faults_command_pure_json_stdout(capsys, tmp_path):
+    import json
+
+    code = main([
+        "faults", "--players", "200", "--servers", "3",
+        "--warmup", "8", "--duration", "8", "--settle", "4",
+        "--kill", "1@2", "--recover", "1@5", "--json", "-",
+    ])
+    captured = capsys.readouterr()
+    summary = json.loads(captured.out)  # stdout is pure JSON, parse as-is
+    assert summary["schema"] == 1
+    assert "remote fraction" in captured.err  # the table moved to stderr
+    assert code == (0 if summary["recovered"] else 1)
+
+
+def test_faults_command_exit_one_without_recovery(capsys):
+    # Kill one of two silos and never restart it: the surviving silo
+    # hosts everything, the remote fraction collapses, no recovery.
+    code = main([
+        "faults", "--players", "200", "--servers", "2",
+        "--warmup", "8", "--duration", "8", "--settle", "4",
+        "--kill", "1@2",
+    ])
+    assert code == 1
+    assert "did not re-converge" in capsys.readouterr().err

@@ -12,6 +12,7 @@ from repro.actor.actor import Actor
 from repro.actor.calls import All, Call
 from repro.actor.errors import ActorError, CallTimeout
 from repro.actor.runtime import ActorRuntime, ClusterConfig
+from repro.faults.resilience import ResilienceConfig
 
 
 class Vault(Actor):
@@ -59,8 +60,10 @@ class Relay(Actor):
 
 
 def make_runtime(servers=3, call_timeout=None, seed=0):
-    rt = ActorRuntime(ClusterConfig(num_servers=servers, seed=seed,
-                                    call_timeout=call_timeout))
+    resilience = (ResilienceConfig(call_timeout=call_timeout)
+                  if call_timeout is not None else None)
+    rt = ActorRuntime(ClusterConfig(num_servers=servers, seed=seed),
+                      resilience=resilience)
     rt.register_actor("vault", Vault)
     rt.register_actor("grump", Grump)
     rt.register_actor("relay", Relay)

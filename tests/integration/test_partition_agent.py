@@ -5,7 +5,7 @@ import pytest
 from repro.actor.actor import Actor
 from repro.actor.calls import Call
 from repro.actor.runtime import ActorRuntime, ClusterConfig
-from repro.core.actop import ActOp
+from repro.core.actop import ActOp, ActOpConfig
 from repro.core.partitioning.coordinator import PartitionAgent, PartitioningConfig
 
 
@@ -99,7 +99,7 @@ def test_agents_colocate_communicating_pairs():
         rt.activate(chatter.id, i % 3)
         rt.activate(partner.id, (i + 1) % 3)
         pairs.append((chatter, partner))
-    actop = ActOp(rt, partitioning=fast_config())
+    actop = ActOp(rt, ActOpConfig(partitioning=fast_config()))
     drive_pairs(rt, pairs, period=0.1, until=30.0)
     actop.start()
     rt.run(until=30.0)
@@ -118,7 +118,7 @@ def test_balance_respected_during_colocations():
         rt.activate(chatter.id, i % 3)
         rt.activate(partner.id, (i + 1) % 3)
         pairs.append((chatter, partner))
-    actop = ActOp(rt, partitioning=fast_config(delta=4))
+    actop = ActOp(rt, ActOpConfig(partitioning=fast_config(delta=4)))
     drive_pairs(rt, pairs, period=0.1, until=25.0)
     actop.start()
     rt.run(until=25.0)
@@ -150,7 +150,7 @@ def test_exchange_counters_track_activity():
         rt.activate(chatter.id, 0)
         rt.activate(partner.id, 1)
         pairs.append((chatter, partner))
-    actop = ActOp(rt, partitioning=fast_config())
+    actop = ActOp(rt, ActOpConfig(partitioning=fast_config()))
     drive_pairs(rt, pairs, period=0.1, until=10.0)
     actop.start()
     rt.run(until=10.0)

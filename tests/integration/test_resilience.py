@@ -1,0 +1,256 @@
+"""Integration tests for the client-side resilience layer.
+
+Covers the late-response double-completion regression (a response
+arriving after its timeout must be discarded, not re-completed), retry
+under transient faults, retry-budget and deadline exhaustion, admission
+control under both shed policies, and the deprecation shims for the old
+``ClusterConfig`` / ``ActOp`` keyword APIs.
+"""
+
+import pytest
+
+from repro.actor.actor import Actor
+from repro.actor.errors import CallTimeout, RequestShed
+from repro.actor.runtime import ActorRuntime, ClusterConfig
+from repro.cluster import build_cluster
+from repro.core.actop import ActOp, ActOpConfig
+from repro.core.partitioning.coordinator import PartitioningConfig
+from repro.faults import (
+    AdmissionConfig,
+    FaultPlan,
+    ResilienceConfig,
+    RetryPolicy,
+)
+from repro.obs import Observability
+
+
+class Echo(Actor):
+    COMPUTE = {"ping": 1e-4}
+
+    def ping(self):
+        return "pong"
+
+
+class Heavy(Actor):
+    COMPUTE = {"work": 0.05}
+
+    def work(self):
+        return 1
+
+
+def _request(rt, ref, method, results, **kwargs):
+    rt.client_request(ref, method,
+                      on_complete=lambda lat, res: results.append(res),
+                      **kwargs)
+
+
+# ----------------------------------------------------------------------
+# The late-response regression (the bug this PR fixes).
+# ----------------------------------------------------------------------
+def test_late_response_is_discarded_not_double_completed():
+    """A response that loses the race against its timeout is dropped.
+
+    Before the ``_inflight`` bookkeeping, the late response re-completed
+    the request: the latency recorder got a bogus sample, the completion
+    hook fired a second time, and the tracer closed the root span twice.
+    """
+    rt = ActorRuntime(ClusterConfig(num_servers=1, seed=0),
+                      resilience=ResilienceConfig(call_timeout=0.01))
+    obs = Observability(rt)
+    rt.register_actor("heavy", Heavy)  # 50 ms of work vs a 10 ms timeout
+    results = []
+    _request(rt, rt.ref("heavy", 0), "work", results)
+    rt.run(until=1.0)
+
+    assert rt.requests_timed_out == 1
+    assert rt.requests_completed == 0
+    assert rt.late_responses == 1          # the response did arrive...
+    assert rt.client_latency.count == 0    # ...but was not recorded
+    assert results == [results[0]] and isinstance(results[0], CallTimeout)
+    assert obs.tracer.requests_seen == 1
+    assert obs.tracer.requests_finished == 1  # exactly one end_request
+    assert rt.inflight_requests == 0
+
+
+# ----------------------------------------------------------------------
+# Retry.
+# ----------------------------------------------------------------------
+def test_retry_recovers_from_transient_outage():
+    cluster = build_cluster(
+        ClusterConfig(num_servers=2, seed=1),
+        resilience=ResilienceConfig(
+            call_timeout=0.1,
+            retry=RetryPolicy(max_attempts=5, base_delay=0.1)),
+        faults=FaultPlan().degrade(0.0, 0.3, drop=1.0),
+    )
+    rt = cluster.runtime
+    obs = Observability(rt)
+    rt.register_actor("echo", Echo)
+    results = []
+    rt.sim.schedule(0.01, _request, rt, rt.ref("echo", 0), "ping", results)
+    cluster.start()
+    rt.run(until=5.0)
+    assert results == ["pong"]
+    assert rt.request_retries >= 1
+    assert rt.requests_completed == 1
+    assert rt.requests_timed_out == 0
+    assert [e for e in obs.events if type(e).KIND == "retry"]
+
+
+def test_retry_budget_exhausts_into_terminal_timeout():
+    cluster = build_cluster(
+        ClusterConfig(num_servers=2, seed=2),
+        resilience=ResilienceConfig(
+            call_timeout=0.05,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.01)),
+        faults=FaultPlan().degrade(0.0, 100.0, drop=1.0),
+    )
+    rt = cluster.runtime
+    obs = Observability(rt)
+    rt.register_actor("echo", Echo)
+    results = []
+    rt.sim.schedule(0.01, _request, rt, rt.ref("echo", 0), "ping", results)
+    cluster.start()
+    rt.run(until=10.0)
+    assert len(results) == 1 and isinstance(results[0], CallTimeout)
+    assert rt.request_retries == 2        # attempts 2 and 3
+    assert rt.requests_timed_out == 1     # one terminal timeout
+    assert rt.requests_completed == 0
+    assert rt.inflight_requests == 0
+    assert len([e for e in obs.events if type(e).KIND == "retry"]) == 2
+
+
+def test_non_idempotent_requests_are_not_retried():
+    cluster = build_cluster(
+        ClusterConfig(num_servers=2, seed=3),
+        resilience=ResilienceConfig(
+            call_timeout=0.05,
+            retry=RetryPolicy(max_attempts=4, base_delay=0.01)),
+        faults=FaultPlan().degrade(0.0, 100.0, drop=1.0),
+    )
+    rt = cluster.runtime
+    rt.register_actor("echo", Echo)
+    results = []
+    rt.sim.schedule(0.01, lambda: rt.client_request(
+        rt.ref("echo", 0), "ping", idempotent=False,
+        on_complete=lambda lat, res: results.append(res)))
+    cluster.start()
+    rt.run(until=5.0)
+    assert len(results) == 1 and isinstance(results[0], CallTimeout)
+    assert rt.request_retries == 0
+    assert rt.requests_timed_out == 1
+
+
+def test_request_deadline_caps_the_retry_storm():
+    cluster = build_cluster(
+        ClusterConfig(num_servers=2, seed=4),
+        resilience=ResilienceConfig(
+            call_timeout=0.06, request_deadline=0.2,
+            retry=RetryPolicy(max_attempts=50, base_delay=0.01)),
+        faults=FaultPlan().degrade(0.0, 100.0, drop=1.0),
+    )
+    rt = cluster.runtime
+    rt.register_actor("echo", Echo)
+    done_at = []
+    rt.sim.schedule(0.01, lambda: rt.client_request(
+        rt.ref("echo", 0), "ping",
+        on_complete=lambda lat, res: done_at.append(rt.sim.now)))
+    cluster.start()
+    rt.run(until=10.0)
+    assert rt.requests_timed_out == 1
+    assert rt.request_retries < 49        # the deadline stopped the storm
+    assert done_at and done_at[0] <= 0.35  # deadline + one timeout + slack
+    assert rt.inflight_requests == 0
+
+
+# ----------------------------------------------------------------------
+# Admission control.
+# ----------------------------------------------------------------------
+def _admission_runtime(policy: str):
+    rt = ActorRuntime(
+        ClusterConfig(num_servers=1, seed=5),
+        resilience=ResilienceConfig(
+            admission=AdmissionConfig(capacity=1, policy=policy)))
+    rt.register_actor("heavy", Heavy)
+    return rt
+
+
+def test_admission_reject_sheds_the_newcomer():
+    rt = _admission_runtime("reject")
+    obs = Observability(rt)
+    first, second = [], []
+
+    def burst():
+        _request(rt, rt.ref("heavy", 0), "work", first)
+        _request(rt, rt.ref("heavy", 1), "work", second)
+
+    rt.sim.schedule(0.0, burst)
+    rt.run(until=2.0)
+    assert first == [1]                    # the admitted request completed
+    assert len(second) == 1 and isinstance(second[0], RequestShed)
+    assert second[0].policy == "reject"
+    assert rt.requests_shed == 1
+    assert rt.requests_completed == 1
+    shed_events = [e for e in obs.events if type(e).KIND == "shed"]
+    assert len(shed_events) == 1 and shed_events[0].policy == "reject"
+
+
+def test_admission_drop_oldest_abandons_the_veteran():
+    rt = _admission_runtime("drop_oldest")
+    first, second = [], []
+
+    def burst():
+        _request(rt, rt.ref("heavy", 0), "work", first)
+        _request(rt, rt.ref("heavy", 1), "work", second)
+
+    rt.sim.schedule(0.0, burst)
+    rt.run(until=2.0)
+    assert len(first) == 1 and isinstance(first[0], RequestShed)
+    assert first[0].policy == "drop_oldest"
+    assert second == [1]                   # the newcomer took the slot
+    assert rt.requests_shed == 1
+    assert rt.requests_completed == 1
+    assert rt.requests_timed_out == 0      # the victim's timer was cancelled
+    assert rt.inflight_requests == 0
+
+
+def test_admission_frees_slots_on_completion():
+    rt = _admission_runtime("reject")
+    results = []
+    for at in (0.0, 0.5, 1.0):  # sequential: each fits the 1-slot window
+        rt.sim.schedule(at, _request, rt, rt.ref("heavy", 0), "work", results)
+    rt.run(until=3.0)
+    assert results == [1, 1, 1]
+    assert rt.requests_shed == 0
+
+
+# ----------------------------------------------------------------------
+# Deprecation shims.
+# ----------------------------------------------------------------------
+def test_deprecated_cluster_config_knobs_fold_into_resilience():
+    with pytest.warns(DeprecationWarning):
+        rt = ActorRuntime(ClusterConfig(num_servers=1, seed=0,
+                                        call_timeout=0.5,
+                                        max_receiver_queue=7))
+    assert rt.resilience is not None
+    assert rt.resilience.call_timeout == 0.5
+    assert rt.call_timeout == 0.5 * rt.time_scale
+    assert rt.max_receiver_queue == 7
+
+
+def test_explicit_resilience_wins_over_deprecated_knobs():
+    with pytest.warns(DeprecationWarning):
+        rt = ActorRuntime(
+            ClusterConfig(num_servers=1, seed=0, call_timeout=0.5),
+            resilience=ResilienceConfig(call_timeout=2.0))
+    assert rt.resilience.call_timeout == 2.0
+
+
+def test_deprecated_actop_kwargs_still_work():
+    rt = ActorRuntime(ClusterConfig(num_servers=2, seed=0))
+    with pytest.warns(DeprecationWarning):
+        actop = ActOp(rt, partitioning=PartitioningConfig())
+    assert actop.agents
+    with pytest.raises(ValueError), pytest.warns(DeprecationWarning):
+        ActOp(rt, ActOpConfig(partitioning=PartitioningConfig()),
+              partitioning=PartitioningConfig())

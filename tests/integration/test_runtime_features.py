@@ -4,8 +4,9 @@ import pytest
 
 from repro.actor.actor import Actor
 from repro.actor.runtime import ActorRuntime, ClusterConfig
+from repro.faults.resilience import AdmissionConfig, ResilienceConfig
 from repro.bench.sampler import ClusterSampler
-from repro.core.actop import ActOp, ThreadControllerConfig
+from repro.core.actop import ActOp, ActOpConfig, ThreadControllerConfig
 from repro.core.partitioning.coordinator import PartitioningConfig
 from repro.workloads.heartbeat import HeartbeatConfig, HeartbeatWorkload
 
@@ -18,8 +19,9 @@ class Sluggish(Actor):
 
 
 def test_receiver_queue_bound_rejects_overload():
-    rt = ActorRuntime(ClusterConfig(num_servers=1, seed=0,
-                                    max_receiver_queue=5))
+    rt = ActorRuntime(
+        ClusterConfig(num_servers=1, seed=0),
+        resilience=ResilienceConfig(admission=AdmissionConfig(receiver_queue=5)))
     rt.register_actor("slug", Sluggish)
     # 200 near-simultaneous requests into a server that can do ~800/s.
     for i in range(200):
@@ -90,8 +92,9 @@ def test_actop_requires_at_least_one_optimization():
 
 def test_actop_builds_agents_and_controllers():
     rt = ActorRuntime(ClusterConfig(num_servers=3))
-    actop = ActOp(rt, partitioning=PartitioningConfig(),
-                  thread_allocation=ThreadControllerConfig())
+    actop = ActOp(rt, ActOpConfig(
+        partitioning=PartitioningConfig(),
+        thread_allocation=ThreadControllerConfig()))
     assert len(actop.agents) == 3
     assert len(actop.controllers) == 3
     # peer maps are complete and shared
@@ -103,7 +106,7 @@ def test_actop_builds_agents_and_controllers():
 
 def test_actop_partitioning_only():
     rt = ActorRuntime(ClusterConfig(num_servers=2))
-    actop = ActOp(rt, partitioning=PartitioningConfig())
+    actop = ActOp(rt, ActOpConfig(partitioning=PartitioningConfig()))
     assert actop.agents and not actop.controllers
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.actor.runtime import ActorRuntime, ClusterConfig
-from repro.core.actop import ActOp, ThreadControllerConfig
+from repro.core.actop import ActOp, ActOpConfig, ThreadControllerConfig
 from repro.core.threads.estimator import estimate_alpha, measure_windows
 from repro.workloads.heartbeat import HeartbeatConfig, HeartbeatWorkload
 
@@ -15,8 +15,8 @@ def run_heartbeat(optimize, rate=2500.0, seed=3, until=30.0, io_wait=0.0):
     )
     actop = None
     if optimize:
-        actop = ActOp(rt, thread_allocation=ThreadControllerConfig(
-            eta=1e-4, period=3.0))
+        actop = ActOp(rt, ActOpConfig(
+            thread_allocation=ThreadControllerConfig(eta=1e-4, period=3.0)))
         actop.start()
     w.start()
     rt.run(until=until)

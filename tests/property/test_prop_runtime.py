@@ -13,6 +13,7 @@ from hypothesis import strategies as st
 from repro.actor.actor import Actor
 from repro.actor.calls import All, Call
 from repro.actor.runtime import ActorRuntime, ClusterConfig
+from repro.faults.resilience import AdmissionConfig, ResilienceConfig
 
 
 class Leaf(Actor):
@@ -51,8 +52,10 @@ def scenarios(draw):
 @settings(max_examples=40, deadline=None)
 def test_every_request_accounted_for(scenario):
     seed, servers, n_mid, n_leaf, n_requests, actions = scenario
-    rt = ActorRuntime(ClusterConfig(num_servers=servers, seed=seed,
-                                    max_receiver_queue=50))
+    rt = ActorRuntime(
+        ClusterConfig(num_servers=servers, seed=seed),
+        resilience=ResilienceConfig(
+            admission=AdmissionConfig(receiver_queue=50)))
     rt.register_actor("leaf", Leaf)
     rt.register_actor("mid", Mid)
     leaves = [rt.ref("leaf", i) for i in range(n_leaf)]
