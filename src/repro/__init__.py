@@ -24,6 +24,12 @@ The package splits into the paper's contribution and its substrates:
   partitions, link degradation, slow silos, directory staleness) and
   the client-side resilience policies (retry, deadlines, admission
   control with load shedding); ``repro faults`` on the CLI.
+* :mod:`repro.analysis` — the hygiene toolchain: an AST lint pass over
+  the tree's determinism/actor/API invariants and an opt-in runtime
+  race sanitizer; ``repro lint`` on the CLI.
+
+The package ships a ``py.typed`` marker: the inline annotations are the
+public typing surface.
 
 Quickstart::
 
@@ -39,6 +45,7 @@ Quickstart::
 See ``examples/quickstart.py`` for a complete runnable walk-through.
 """
 
+from .analysis import LintReport, Sanitizer, lint_paths
 from .actor import (
     Actor,
     ActorError,
@@ -111,6 +118,7 @@ __all__ = [
     "FaultPlan",
     "HistogramRecorder",
     "LatencyRecorder",
+    "LintReport",
     "ModelBasedController",
     "Observability",
     "OfflinePartitioner",
@@ -120,6 +128,7 @@ __all__ = [
     "RequestShed",
     "ResilienceConfig",
     "RetryPolicy",
+    "Sanitizer",
     "SerializationModel",
     "Simulator",
     "Sleep",
@@ -137,6 +146,7 @@ __all__ = [
     "Tracer",
     "build_cluster",
     "chrome_trace_document",
+    "lint_paths",
     "percentile",
     "__version__",
 ]

@@ -12,7 +12,23 @@ from __future__ import annotations
 
 from typing import Any, Hashable, NamedTuple
 
-__all__ = ["ActorId", "ActorRef"]
+__all__ = ["ActorId", "ActorRef", "set_hash_salt"]
+
+# Hash perturbation for the sanitizer's order-dependence probe.  Zero
+# (the default) reproduces the plain tuple hash bit for bit; a non-zero
+# salt reshuffles every hash-ordered container of ActorIds, so a seeded
+# run whose result changes under salt provably iterates one somewhere.
+_HASH_SALT = 0
+
+
+def set_hash_salt(salt: int) -> None:
+    """Perturb (salt != 0) or restore (salt == 0) ActorId hashing.
+
+    Used by :func:`repro.analysis.sanitizer.detect_order_dependence`;
+    production code never calls this.
+    """
+    global _HASH_SALT
+    _HASH_SALT = salt
 
 
 class ActorId(NamedTuple):
@@ -23,6 +39,12 @@ class ActorId(NamedTuple):
 
     def __str__(self) -> str:
         return f"{self.actor_type}/{self.key}"
+
+    def __hash__(self) -> int:
+        salt = _HASH_SALT
+        if salt:
+            return hash((salt, self.actor_type, self.key))
+        return tuple.__hash__(self)
 
 
 class ActorRef:

@@ -119,6 +119,9 @@ class _ClientRequest:
 class ActorRuntime:
     """An Orleans-like cluster over the discrete-event simulator."""
 
+    # Armed race sanitizer (repro.analysis.sanitizer), or None.
+    _san = None
+
     def __init__(self, config: Optional[ClusterConfig] = None,
                  sim: Optional[Simulator] = None,
                  resilience: Optional[ResilienceConfig] = None):
@@ -500,21 +503,40 @@ class ActorRuntime:
         if admission.policy == "reject":
             self._shed(state, "reject", victim_age=0.0)
             return False
-        # drop_oldest: abandon the stalest in-flight request, admit new.
-        victim = next(iter(self._admitted))
+        # drop_oldest: abandon the stalest *non-in-flight* request — one
+        # parked in retry backoff, whose server-side work is already lost.
+        # Evicting dispatched work is the classic drop-oldest livelock
+        # (benchmarks/test_overload_shedding.py): under a sustained ramp
+        # every admitted request is evicted before it can complete, so
+        # goodput collapses to zero while the server stays busy.  When
+        # every admitted request is in flight, shedding the new arrival
+        # is the only progress-preserving choice.
+        victim = next(
+            (r for r in self._admitted if r.backoff_timer is not None), None
+        )
+        if victim is None:
+            self._shed(state, "drop_oldest", victim_age=0.0)
+            return False
         self._abandon(victim)
         self._admitted[state] = None
         state.admitted = True
         return True
 
     def _abandon(self, victim: _ClientRequest) -> None:
-        """Evict an in-flight request from the admission window."""
+        """Evict a request from the admission window."""
         del self._admitted[victim]
         victim.admitted = False
         if victim.backoff_timer is not None:
             victim.backoff_timer.cancel()
             victim.backoff_timer = None
         else:
+            # Evicting dispatched work: _admit never takes this path any
+            # more, but the sanitizer keeps watching it so a regression
+            # (or a direct caller) is flagged with the livelock citation.
+            san = self._san
+            if san is not None:
+                san.record_inflight_eviction(
+                    victim.ref.id, self.sim.now - victim.t0)
             self._inflight.pop(victim.call_id, None)
             timer = self._client_timers.pop(victim.call_id, None)
             if timer is not None:

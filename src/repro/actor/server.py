@@ -67,6 +67,10 @@ class _Continuation:
 class Silo:
     """One server of the cluster.  Created and owned by the runtime."""
 
+    # Armed race sanitizer; class-level None keeps the disarmed turn
+    # path to a single attribute load.
+    _san = None
+
     def __init__(self, runtime, server_id: int):
         self.runtime = runtime
         self.sim = runtime.sim
@@ -283,19 +287,29 @@ class Silo:
         if self.dead:
             return
         activation.segment_running = False
-        if item.kind is WorkKind.START:
-            activation.open_turns += 1
-            activation.messages_handled += 1
-            assert item.message is not None
-            self._start_turn(activation, item.message)
-        else:
-            self._advance_turn(
-                activation,
-                item.continuation.generator,
-                item.value,
-                item.continuation.origin,
-                throw=item.throw,
-            )
+        san = self._san
+        if san is not None:
+            # Attribute everything this turn segment touches to the
+            # activation whose turn is running: the sanitizer's conflict
+            # detection keys on cross-activation access at one instant.
+            san.push_context(f"activation:{activation.actor_id}")
+        try:
+            if item.kind is WorkKind.START:
+                activation.open_turns += 1
+                activation.messages_handled += 1
+                assert item.message is not None
+                self._start_turn(activation, item.message)
+            else:
+                self._advance_turn(
+                    activation,
+                    item.continuation.generator,
+                    item.value,
+                    item.continuation.origin,
+                    throw=item.throw,
+                )
+        finally:
+            if san is not None:
+                san.pop_context()
         self._pump(activation)
         self._maybe_finalize_deactivation(activation)
 
@@ -543,12 +557,21 @@ class Silo:
         cls = self.runtime.actor_types[actor_id.actor_type]
         instance = cls()
         instance._bind(actor_id, self.server_id)
-        state = self.runtime.storage.get(actor_id)
-        if state is not None:
-            instance.restore_state(state)
-        activation = Activation(actor_id, instance)
-        self.activations[actor_id] = activation
-        instance.on_activate()
+        san = self._san
+        if san is not None:
+            # Lifecycle writes (restore/on_activate) belong to the
+            # activation itself, not to whichever stage triggered hosting.
+            san.push_context(f"activation:{actor_id}")
+        try:
+            state = self.runtime.storage.get(actor_id)
+            if state is not None:
+                instance.restore_state(state)
+            activation = Activation(actor_id, instance)
+            self.activations[actor_id] = activation
+            instance.on_activate()
+        finally:
+            if san is not None:
+                san.pop_context()
         obs = self.runtime.obs
         if obs is not None:
             obs.events.emit(ActivationEvent(

@@ -1,0 +1,152 @@
+"""The lint driver: walk files, run every rule, apply waivers, report.
+
+The contract matching the other ``repro`` subcommands: the run *fails*
+(non-zero exit) iff any unwaived finding exists; waived findings are
+still listed (with their justification) so the report is an audit trail
+of every exemption in the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from .findings import Finding, Severity, parse_waivers
+from .framework import LintContext, all_rules
+from .rules import WAIVER_JUSTIFY  # noqa: F401  (import registers the rules)
+
+__all__ = ["LintReport", "lint_source", "lint_file", "lint_paths", "DEFAULT_ROOTS"]
+
+#: The tree the repo-wide pass covers.  ``tests/`` is deliberately out:
+#: tests exercise deprecated shims and nondeterminism on purpose.
+DEFAULT_ROOTS = ("src/repro", "benchmarks", "examples")
+
+_SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", ".pytest_cache", "fixtures"}
+
+
+@dataclass
+class LintReport:
+    """Findings for a set of files, split by waiver status."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: list[Finding] = field(default_factory=list)
+
+    @property
+    def active(self) -> list[Finding]:
+        return [f for f in self.findings if not f.waived] + self.parse_errors
+
+    @property
+    def waived(self) -> list[Finding]:
+        return [f for f in self.findings if f.waived]
+
+    @property
+    def ok(self) -> bool:
+        return not self.active
+
+    def extend(self, other: "LintReport") -> None:
+        self.findings.extend(other.findings)
+        self.parse_errors.extend(other.parse_errors)
+        self.files_checked += other.files_checked
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "active": [f.to_dict() for f in self.active],
+            "waived": [f.to_dict() for f in self.waived],
+            "counts": {
+                "active": len(self.active),
+                "waived": len(self.waived),
+            },
+        }
+
+
+def lint_source(source: str, path: str = "<string>",
+                rules: Optional[Iterable[str]] = None) -> LintReport:
+    """Lint one source string; ``path`` is used for reporting and
+    path-scoped rules (bench exemptions)."""
+    report = LintReport(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as err:
+        report.parse_errors.append(
+            Finding(
+                rule="PARSE-ERROR",
+                severity=Severity.ERROR,
+                path=path,
+                line=err.lineno or 0,
+                message=f"file does not parse: {err.msg}",
+            )
+        )
+        return report
+
+    ctx = LintContext(path=path, source=source, tree=tree)
+    raw: list[Finding] = []
+    selected = set(rules) if rules is not None else None
+    for rule_cls in all_rules():
+        if selected is not None and rule_cls.name not in selected:
+            continue
+        raw.extend(rule_cls(ctx).run())
+
+    waivers = parse_waivers(source)
+    for finding in raw:
+        waiver = next(
+            (
+                w for w in waivers
+                if w.covers == finding.line
+                and w.matches(finding.rule)
+                and w.justification
+            ),
+            None,
+        )
+        if waiver is not None and finding.rule != WAIVER_JUSTIFY:
+            waiver.used = True
+            finding = Finding(
+                rule=finding.rule,
+                severity=finding.severity,
+                path=finding.path,
+                line=finding.line,
+                message=finding.message,
+                waived=True,
+                justification=waiver.justification,
+            )
+        report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return report
+
+
+def lint_file(path: str, rel: Optional[str] = None,
+              rules: Optional[Iterable[str]] = None) -> LintReport:
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    return lint_source(source, rel or path, rules=rules)
+
+
+def _iter_python_files(root: str) -> Iterable[str]:
+    if os.path.isfile(root):
+        yield root
+        return
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield os.path.join(dirpath, name)
+
+
+def lint_paths(paths: Sequence[str] = DEFAULT_ROOTS, base: str = ".",
+               rules: Optional[Iterable[str]] = None) -> LintReport:
+    """Lint every ``.py`` file under each of ``paths`` (files or dirs),
+    resolved against ``base``; findings report base-relative paths."""
+    report = LintReport()
+    for path in paths:
+        root = path if os.path.isabs(path) else os.path.join(base, path)
+        if not os.path.exists(root):
+            continue
+        for file_path in _iter_python_files(root):
+            rel = os.path.relpath(file_path, base)
+            report.extend(lint_file(file_path, rel=rel, rules=rules))
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return report

@@ -1,7 +1,7 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands expose the main experiment drivers without writing any
-code:
+Seven subcommands expose the main experiment drivers without writing
+any code:
 
 * ``halo``       — the cluster workload A/B (random vs ActOp), §6.1-style;
 * ``heartbeat``  — the single-server thread-allocation experiment, §6.2;
@@ -15,7 +15,11 @@ code:
 * ``faults``     — a chaos run: Halo under a :mod:`repro.faults` plan
   (silo kills/recoveries, link degradation) with client-side resilience,
   reporting pre/during/post windows and whether the cluster's
-  remote-message fraction re-converged after recovery.
+  remote-message fraction re-converged after recovery;
+* ``lint``       — the :mod:`repro.analysis` determinism / actor-hygiene
+  static pass over the tree (non-zero exit on unwaived findings), with
+  ``--sanitize`` adding a Halo slice under the runtime race sanitizer
+  and a salted-hash iteration-order probe.
 
 Each prints a result table to stdout; a run that produced no usable
 result exits non-zero.  ``perf``, ``trace``, and ``faults`` share the
@@ -203,6 +207,27 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--json", dest="json_path", metavar="PATH",
                         help="write the summary JSON here ('-' for stdout)")
 
+    lint = sub.add_parser(
+        "lint",
+        help="determinism/actor/API hygiene lint + runtime race sanitizer")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to lint (default: "
+                           "src/repro benchmarks examples)")
+    lint.add_argument("--rules", nargs="+", metavar="RULE", default=None,
+                      help="run only the named rules (e.g. DET-SET-ITER)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print every registered rule and exit")
+    lint.add_argument("--sanitize", action="store_true",
+                      help="also run a Halo slice with the runtime race "
+                           "sanitizer armed and a salted-hash order probe")
+    lint.add_argument("--requests", type=int, default=2_000,
+                      help="sanitizer: client requests to drive through "
+                           "the Halo slice")
+    lint.add_argument("--seed", type=int, default=5,
+                      help="sanitizer: cluster seed")
+    lint.add_argument("--json", dest="json_path", metavar="PATH",
+                      help="write the JSON report here ('-' for stdout)")
+
     part = sub.add_parser("partition", help="offline partitioner comparison")
     part.add_argument("--graph", choices=("clustered", "powerlaw", "random"),
                       default="clustered")
@@ -296,7 +321,7 @@ def _run_partition(args: argparse.Namespace) -> int:
              max_imbalance(base, args.servers), 0.0]]
 
     for algorithm in args.algorithms:
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: waive[DET-WALLCLOCK] -- offline CLI: wall time is displayed, never fed to the sim
         if algorithm == "alg1":
             part = OfflinePartitioner(graph, args.servers, delta=8, k=64,
                                       seed=args.seed, initial=dict(base))
@@ -314,7 +339,7 @@ def _run_partition(args: argparse.Namespace) -> int:
             assignment = streaming_partition(graph, args.servers,
                                              heuristic="fennel",
                                              rng=random.Random(args.seed))
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start  # repro: waive[DET-WALLCLOCK] -- offline CLI: wall time is displayed, never fed to the sim
         rows.append([algorithm, cut_cost(graph, assignment),
                      max_imbalance(assignment, args.servers), elapsed])
 
@@ -592,6 +617,108 @@ def _run_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sanitizer_slice(requests: int, seed: int) -> dict:
+    """Drive a Halo slice with the sanitizer armed + the order probe."""
+    import hashlib
+
+    from .analysis.sanitizer import Sanitizer, detect_order_dependence
+
+    # Arm BEFORE building the experiment: RNG substreams are wrapped at
+    # creation time and the workload caches its stream handles.
+    san = Sanitizer()
+    with san.armed():
+        exp = HaloExperiment(players=200, num_servers=3, seed=seed)
+        san.wire(exp.cluster)
+        rt = exp.runtime
+        exp.workload.start()
+        exp.cluster.start()
+        horizon = 0.0
+        while rt.requests_completed < requests and horizon < 120.0:
+            horizon += 1.0
+            rt.run(until=horizon)
+    report = san.report()
+    report["requests_completed"] = rt.requests_completed
+    report["horizon_s"] = horizon
+
+    def digest() -> str:
+        probe_exp = HaloExperiment(players=80, num_servers=3, seed=seed)
+        probe_exp.workload.start()
+        probe_exp.cluster.start()
+        sim = probe_exp.runtime.sim
+        sha = hashlib.sha256()
+        while sim.now < 2.0 and sim.step():
+            sha.update(repr(sim.now).encode())
+        return sha.hexdigest()
+
+    probe = detect_order_dependence(digest)
+    report["order_probe"] = probe.to_dict()
+    report["ok"] = report["ok"] and not probe.order_dependent
+    return report
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis import DEFAULT_ROOTS, all_rules, lint_paths
+
+    if args.list_rules:
+        print(render_table(
+            ["rule", "severity", "description"],
+            [[r.name, str(r.severity), r.description] for r in all_rules()],
+            title=f"{len(tuple(all_rules()))} registered lint rules",
+        ))
+        return 0
+
+    report = lint_paths(args.paths or DEFAULT_ROOTS, rules=args.rules)
+    doc: dict = {"schema": 1, "lint": report.to_dict()}
+    ok = report.ok
+
+    san_report = None
+    if args.sanitize:
+        san_report = _sanitizer_slice(args.requests, args.seed)
+        doc["sanitizer"] = san_report
+        ok = ok and san_report["ok"]
+    doc["ok"] = ok
+
+    out = sys.stderr if args.json_path == "-" else sys.stdout
+    rows = [[f.rule, f"{f.path}:{f.line}", f.message]
+            for f in report.active]
+    rows += [[f"{f.rule} (waived)", f"{f.path}:{f.line}",
+              f.justification or ""] for f in report.waived]
+    print(render_table(
+        ["rule", "location", "detail"],
+        rows or [["-", "-", "no findings"]],
+        title=f"repro lint — {report.files_checked} files, "
+              f"{len(report.active)} active, {len(report.waived)} waived",
+    ), file=out)
+    if san_report is not None:
+        print(f"\nsanitizer: {san_report['requests_completed']} requests, "
+              f"{san_report['events_seen']} events, "
+              f"{san_report['accesses']} accesses, "
+              f"{len(san_report['conflicts'])} conflicts, "
+              f"{len(san_report['rng_hazards'])} rng hazards; order probe "
+              f"{'DIVERGED' if san_report['order_probe']['order_dependent'] else 'clean'}",
+              file=out)
+        for conflict in san_report["conflicts"]:
+            print(f"  conflict: {conflict['owner']}.{conflict['field']} "
+                  f"at t={conflict['time']:.6f} — {conflict['note'] or conflict['accesses']}",
+                  file=out)
+
+    if args.json_path == "-":
+        print(json.dumps(doc, indent=2))
+    elif args.json_path:
+        with open(args.json_path, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"JSON report written to {args.json_path}", file=out)
+
+    if not ok:
+        print("lint failed: unwaived findings or sanitizer conflicts "
+              "(see report above)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_perf(args: argparse.Namespace) -> int:
     from .bench import perf
 
@@ -639,6 +766,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_trace(args)
     if args.command == "faults":
         return _run_faults(args)
+    if args.command == "lint":
+        return _run_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

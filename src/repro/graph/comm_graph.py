@@ -88,7 +88,9 @@ class CommGraph:
         return sum(w for _, _, w in self.edges())
 
     def subgraph(self, keep: Iterable[Vertex]) -> "CommGraph":
-        keep_set = set(keep)
+        # Insertion-ordered membership set: the subgraph's vertex order
+        # follows the caller's order, not hash order.
+        keep_set = dict.fromkeys(keep)
         sub = CommGraph()
         for v in keep_set:
             if v in self._adj:

@@ -145,7 +145,7 @@ def power_law_graph(
         chosen: set[int] = set()
         while len(chosen) < attach:
             chosen.add(rng.choice(endpoint_pool))
-        for u in chosen:
+        for u in sorted(chosen):
             graph.add_edge(v, u, 1.0)
             endpoint_pool.extend((v, u))
     return graph

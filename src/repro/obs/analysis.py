@@ -150,7 +150,7 @@ def cross_check(
     )
     floor = 1e-9 * reference_max
     errors: dict[str, float] = {}
-    for stage_name in set(trace) | set(recorder):
+    for stage_name in sorted(set(trace) | set(recorder)):
         trace_bucket = trace.get(stage_name, {})
         recorder_bucket = recorder.get(stage_name, {})
         for component in ("queue", "ready", "compute", "wait"):

@@ -61,6 +61,7 @@ class StagedServer:
     ) -> Stage:
         if name in self.stages:
             raise ValueError(f"stage {name!r} already exists")
+        # repro: waive[API-DEPRECATED] -- the shim's own forwarding path; warns only when a tracer is actually passed
         stage = Stage(self.sim, self.cpu, name, threads, blocking=blocking, tracer=tracer)
         self.stages[name] = stage
         return stage

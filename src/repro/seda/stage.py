@@ -164,6 +164,10 @@ class Stage:
             instead.
     """
 
+    # Armed race sanitizer; class-level None so the disarmed completion
+    # path pays one attribute load and no per-instance storage.
+    _san = None
+
     def __init__(
         self,
         sim: Simulator,
@@ -317,9 +321,21 @@ class Stage:
         self._busy -= 1
         if self._queue:
             self._dispatch()
-        for observer in self.observers:
-            observer(self, event)
-        event.callback(event, *event.args)
+        san = self._san
+        if san is None:
+            for observer in self.observers:
+                observer(self, event)
+            event.callback(event, *event.args)
+            return
+        # Sanitizer armed: attribute the callback (and anything it touches)
+        # to this stage unless a finer-grained context is pushed inside.
+        san.push_context(f"stage:{self.name}")
+        try:
+            for observer in self.observers:
+                observer(self, event)
+            event.callback(event, *event.args)
+        finally:
+            san.pop_context()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -106,6 +106,9 @@ class Simulator:
         self._dead = 0  # cancelled entries still sitting in _heap/_soon
         self._events_processed = 0
         self._running = False
+        # Armed race sanitizer (repro.analysis.sanitizer), or None.  One
+        # hoisted None check per drain keeps the disarmed hot loop intact.
+        self._san = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -227,6 +230,7 @@ class Simulator:
     def _drain(self, until: Optional[float], max_events: Optional[int]) -> int:
         heap = self._heap
         slab = self._slab
+        san = self._san
         fired = 0
         while True:
             soon = self._soon  # rebound: _compact may replace the deque
@@ -258,6 +262,8 @@ class Simulator:
             self._now = time
             self._events_processed += 1
             callback, args = item
+            if san is not None:
+                san.on_event()
             callback(*args)
             fired += 1
             if max_events is not None and fired >= max_events:

@@ -31,10 +31,21 @@ class RngRegistry:
         self._streams: dict[str, random.Random] = {}
 
     def stream(self, name: str) -> random.Random:
-        """Return the substream for ``name``, creating it on first use."""
+        """Return the substream for ``name``, creating it on first use.
+
+        When the race sanitizer is armed, newly created streams are
+        wrapped so each draw is recorded as a write to the stream's
+        generator state.  The check runs once per stream *creation*
+        (streams are cached), so the disarmed path is unchanged.
+        """
         rng = self._streams.get(name)
         if rng is None:
             rng = random.Random(_derive_seed(self.seed, name))
+            from repro.analysis.sanitizer import current as _active_sanitizer
+
+            san = _active_sanitizer()
+            if san is not None:
+                rng = san.wrap_rng(name, rng)
             self._streams[name] = rng
         return rng
 

@@ -1,0 +1,148 @@
+"""PR-3 deprecation shims: warn exactly once, behave identically.
+
+The flat ``ClusterConfig`` kwargs and ``ActOp(rt, partitioning=...)``
+keyword form are kept alive by shims; these tests pin the contract the
+shims promise — a single :class:`DeprecationWarning` per use, and a run
+that is indistinguishable from the layered ``build_cluster`` configs.
+"""
+
+import warnings
+
+from repro.actor.actor import Actor
+from repro.actor.runtime import ActorRuntime, ClusterConfig
+from repro.cluster import build_cluster
+from repro.core.actop import ActOp, ActOpConfig
+from repro.core.partitioning.coordinator import PartitioningConfig
+from repro.faults import AdmissionConfig, ResilienceConfig
+from repro.seda.stage import Stage
+from repro.sim.cpu import CpuPool
+from repro.sim.engine import Simulator
+
+
+class Echo(Actor):
+    COMPUTE = {"ping": 1e-4}
+
+    def ping(self):
+        return "pong"
+
+
+class Heavy(Actor):
+    COMPUTE = {"work": 0.05}
+
+    def work(self):
+        return 1
+
+
+def _deprecations(caught):
+    return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+# ----------------------------------------------------------------------
+# Exactly-once warning behavior
+# ----------------------------------------------------------------------
+def test_flat_cluster_config_kwargs_warn_exactly_once():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        build_cluster(ClusterConfig(num_servers=1, seed=3,
+                                    call_timeout=0.01,
+                                    max_receiver_queue=64))
+    (warning,) = _deprecations(caught)
+    assert "ResilienceConfig" in str(warning.message)
+
+
+def test_actop_flat_kwargs_warn_exactly_once():
+    rt = ActorRuntime(ClusterConfig(num_servers=2, seed=3))
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        ActOp(rt, partitioning=PartitioningConfig())
+    (warning,) = _deprecations(caught)
+    assert "ActOpConfig" in str(warning.message)
+    # Both deprecated kwargs together still warn only once.
+    rt = ActorRuntime(ClusterConfig(num_servers=2, seed=3))
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        ActOp(rt, partitioning=PartitioningConfig())
+    assert len(_deprecations(caught)) == 1
+
+
+def test_stage_tracer_setter_warns_exactly_once():
+    sim = Simulator()
+    stage = Stage(sim, CpuPool(sim, processors=1), "probe")
+    events = []
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        stage.tracer = lambda st, ev: events.append(ev)
+    assert len(_deprecations(caught)) == 1
+    assert stage.tracer in stage.observers
+
+
+# ----------------------------------------------------------------------
+# Behavior parity with the layered build_cluster configs
+# ----------------------------------------------------------------------
+def _drive(cluster):
+    rt = cluster.runtime
+    rt.register_actor("echo", Echo)
+    rt.register_actor("heavy", Heavy)
+    results = []
+
+    def record(latency, result):
+        results.append(repr(result))
+
+    for i in range(10):
+        rt.client_request(rt.ref("echo", i % 3), "ping", on_complete=record)
+    # 50 ms of work against a 10 ms timeout: the call_timeout knob is
+    # load-bearing, so parity here proves the shim folded it correctly.
+    rt.client_request(rt.ref("heavy", 0), "work", on_complete=record)
+    cluster.start()
+    cluster.run(until=2.0)
+    return {
+        "results": sorted(results),
+        "events": rt.sim.events_processed,
+        "completed": rt.requests_completed,
+        "latency_count": rt.client_latency.count,
+    }
+
+
+def test_shimmed_cluster_config_run_is_identical_to_build_cluster():
+    with warnings.catch_warnings(record=True):
+        warnings.simplefilter("always")
+        shimmed = _drive(build_cluster(
+            ClusterConfig(num_servers=1, seed=3, call_timeout=0.01,
+                          max_receiver_queue=64)))
+    layered = _drive(build_cluster(
+        ClusterConfig(num_servers=1, seed=3),
+        resilience=ResilienceConfig(
+            call_timeout=0.01,
+            admission=AdmissionConfig(receiver_queue=64))))
+    assert shimmed == layered
+    assert any("CallTimeout" in r for r in layered["results"])
+
+
+def _run_with_actop(make_actop):
+    rt = ActorRuntime(ClusterConfig(num_servers=2, seed=9))
+    actop = make_actop(rt)
+    rt.register_actor("echo", Echo)
+    results = []
+    for i in range(12):
+        rt.client_request(rt.ref("echo", i), "ping",
+                          on_complete=lambda lat, res: results.append(res))
+    actop.start()
+    rt.run(until=5.0)
+    return {
+        "results": results,
+        "events": rt.sim.events_processed,
+        "agents": len(actop.agents),
+        "controllers": len(actop.controllers),
+        "migrations": actop.total_migrations,
+    }
+
+
+def test_shimmed_actop_kwargs_run_is_identical_to_config_form():
+    with warnings.catch_warnings(record=True):
+        warnings.simplefilter("always")
+        shimmed = _run_with_actop(
+            lambda rt: ActOp(rt, partitioning=PartitioningConfig()))
+    layered = _run_with_actop(
+        lambda rt: ActOp(rt, ActOpConfig(partitioning=PartitioningConfig())))
+    assert shimmed == layered
+    assert shimmed["results"] == ["pong"] * 12

@@ -1,0 +1,110 @@
+"""The lint pass over the real tree, the CLI contract, and the
+sanitizer's zero-overhead guarantee.
+
+Three acceptance criteria live here: ``repro lint`` exits 0 on the repo
+(every finding fixed or waived with justification) and non-zero on the
+violations fixture; and a seeded Halo run with the sanitizer *off* is
+bit-identical to the pre-PR baseline digest, proving the engine/stage/
+silo hooks cost nothing when disarmed.
+"""
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+
+from repro.analysis import DEFAULT_ROOTS, all_rules, lint_file, lint_paths
+from repro.bench.harness import HaloExperiment
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+FIXTURE = os.path.join("tests", "fixtures", "lint_violations.py")
+
+# Pinned before this PR added the sanitizer hooks: HaloExperiment
+# (players=80, num_servers=3, seed=5) stepped to t=4.0, hashing
+# repr(sim.now) per event.
+GOLDEN_DIGEST = "d4149165647d66d97d3b04ca45d70e0ff5fd89fe8fe82fbf3488e5b4d33dcc20"
+GOLDEN_EVENTS = 2974
+
+
+def test_repo_tree_lints_clean():
+    report = lint_paths(DEFAULT_ROOTS, base=REPO)
+    assert report.files_checked > 50
+    assert report.ok, "\n".join(f.render() for f in report.active)
+    # The audit trail: every waiver in the tree carries a justification.
+    assert report.waived
+    for finding in report.waived:
+        assert finding.justification, finding.render()
+
+
+def test_fixture_fires_every_registered_rule():
+    report = lint_file(os.path.join(REPO, FIXTURE))
+    assert not report.ok
+    assert {f.rule for f in report.active} == {r.name for r in all_rules()}
+
+
+def _run_cli(*argv):
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *argv],
+        capture_output=True, text=True, cwd=REPO, env=env,
+    )
+
+
+def test_cli_exits_zero_on_tree_and_emits_pure_json():
+    proc = _run_cli("--json", "-")
+    assert proc.returncode == 0, proc.stderr
+    doc = json.loads(proc.stdout)  # stdout must be pure JSON
+    assert doc["ok"] is True
+    assert doc["lint"]["counts"]["active"] == 0
+    assert doc["lint"]["counts"]["waived"] > 0
+    assert "repro lint" in proc.stderr  # the table went to stderr
+
+
+def test_cli_exits_nonzero_on_the_violations_fixture():
+    proc = _run_cli(FIXTURE, "--json", "-")
+    assert proc.returncode == 1
+    doc = json.loads(proc.stdout)
+    assert doc["ok"] is False
+    fired = {f["rule"] for f in doc["lint"]["active"]}
+    assert fired == {r.name for r in all_rules()}
+
+
+def test_every_declared_export_exists_at_import_time():
+    # The API-EXPORT-ALL rule checks static binding; this covers the
+    # dynamic side (PEP 562 lazy modules, re-exports): every __all__
+    # name in every submodule must resolve on the imported module.
+    import importlib
+    import pkgutil
+
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.{name}"
+    for info in pkgutil.walk_packages(repro.__path__, "repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing it would run the CLI
+        module = importlib.import_module(info.name)
+        for name in getattr(module, "__all__", ()):
+            assert hasattr(module, name), f"{info.name}.{name}"
+
+
+def test_py_typed_marker_ships_with_the_package():
+    import repro
+
+    marker = os.path.join(os.path.dirname(repro.__file__), "py.typed")
+    assert os.path.exists(marker)
+
+
+def test_halo_digest_unchanged_with_sanitizer_off():
+    exp = HaloExperiment(players=80, num_servers=3, seed=5)
+    exp.workload.start()
+    exp.cluster.start()
+    sim = exp.runtime.sim
+    digest = hashlib.sha256()
+    events = 0
+    while sim.now < 4.0 and sim.step():
+        digest.update(repr(sim.now).encode())
+        events += 1
+    assert digest.hexdigest() == GOLDEN_DIGEST
+    assert events == GOLDEN_EVENTS

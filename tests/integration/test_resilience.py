@@ -195,7 +195,14 @@ def test_admission_reject_sheds_the_newcomer():
     assert len(shed_events) == 1 and shed_events[0].policy == "reject"
 
 
-def test_admission_drop_oldest_abandons_the_veteran():
+def test_admission_drop_oldest_spares_inflight_work():
+    """With every admitted request dispatched, the *newcomer* is shed.
+
+    The old behaviour — evict the dispatched veteran — is the drop-oldest
+    livelock documented in benchmarks/test_overload_shedding.py: under a
+    sustained ramp every admitted request was abandoned before it could
+    finish.  Now in-flight work is never thrown away.
+    """
     rt = _admission_runtime("drop_oldest")
     first, second = [], []
 
@@ -205,13 +212,38 @@ def test_admission_drop_oldest_abandons_the_veteran():
 
     rt.sim.schedule(0.0, burst)
     rt.run(until=2.0)
-    assert len(first) == 1 and isinstance(first[0], RequestShed)
-    assert first[0].policy == "drop_oldest"
-    assert second == [1]                   # the newcomer took the slot
+    assert first == [1]                    # the dispatched veteran finished
+    assert len(second) == 1 and isinstance(second[0], RequestShed)
+    assert second[0].policy == "drop_oldest"
     assert rt.requests_shed == 1
     assert rt.requests_completed == 1
-    assert rt.requests_timed_out == 0      # the victim's timer was cancelled
     assert rt.inflight_requests == 0
+
+
+def test_admission_drop_oldest_evicts_backoff_victim():
+    """The eviction target is the oldest *non-in-flight* entry: a request
+    parked in retry backoff holds an admission slot but no server work,
+    so it is the one sacrificed for a new arrival."""
+    rt = ActorRuntime(
+        ClusterConfig(num_servers=1, seed=5),
+        resilience=ResilienceConfig(
+            call_timeout=0.01,             # Heavy takes 0.05: always times out
+            retry=RetryPolicy(max_attempts=5, base_delay=0.2, jitter=0.0),
+            admission=AdmissionConfig(capacity=1, policy="drop_oldest")))
+    rt.register_actor("heavy", Heavy)
+    rt.register_actor("echo", Echo)
+    first, second = [], []
+    _request(rt, rt.ref("heavy", 0), "work", first)
+    # t=0.01: first times out, enters a 0.2 s backoff still holding the
+    # slot.  t=0.05: a newcomer arrives and takes it.
+    rt.sim.schedule(0.05, _request, rt, rt.ref("echo", 1), "ping", second)
+    rt.run(until=0.06)
+    assert len(first) == 1 and isinstance(first[0], RequestShed)
+    assert first[0].policy == "drop_oldest"
+    assert rt.requests_shed == 1
+    rt.run(until=2.0)
+    assert second == ["pong"]              # the newcomer got the slot
+    assert rt.requests_completed == 1
 
 
 def test_admission_frees_slots_on_completion():

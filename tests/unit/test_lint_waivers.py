@@ -1,0 +1,97 @@
+"""Waiver semantics: parsing, coverage, and required justification."""
+
+from repro.analysis import lint_source, parse_waivers
+
+WALLCLOCK = "import time\nnow = time.time()"
+
+
+def test_trailing_waiver_covers_its_own_line():
+    report = lint_source(
+        "import time\n"
+        "now = time.time()  # repro: waive[DET-WALLCLOCK] -- boot banner\n"
+    )
+    assert report.ok
+    (finding,) = report.waived
+    assert finding.rule == "DET-WALLCLOCK"
+    assert finding.justification == "boot banner"
+
+
+def test_standalone_waiver_covers_next_line():
+    report = lint_source(
+        "import time\n"
+        "# repro: waive[DET-WALLCLOCK] -- boot banner\n"
+        "now = time.time()\n"
+    )
+    assert report.ok and len(report.waived) == 1
+
+
+def test_waiver_does_not_cover_other_lines():
+    report = lint_source(
+        "import time\n"
+        "# repro: waive[DET-WALLCLOCK] -- boot banner\n"
+        "pad = 0\n"
+        "now = time.time()\n"
+    )
+    assert not report.ok
+    assert report.active[0].rule == "DET-WALLCLOCK"
+
+
+def test_waiver_is_rule_specific():
+    report = lint_source(
+        "import time\n"
+        "now = time.time()  # repro: waive[DET-GLOBAL-RNG] -- wrong rule\n"
+    )
+    assert not report.ok
+
+
+def test_wildcard_and_multi_rule_waivers():
+    report = lint_source(
+        "import time\n"
+        "now = time.time()  # repro: waive[*] -- demo file\n"
+    )
+    assert report.ok
+    report = lint_source(
+        "import time, random\n"
+        "x = random.random() + time.time()"
+        "  # repro: waive[DET-WALLCLOCK,DET-GLOBAL-RNG] -- demo file\n"
+    )
+    assert report.ok and len(report.waived) == 2
+
+
+def test_unjustified_waiver_suppresses_nothing_and_is_itself_flagged():
+    report = lint_source(
+        "import time\n"
+        "now = time.time()  # repro: waive[DET-WALLCLOCK]\n"
+    )
+    fired = {f.rule for f in report.active}
+    assert fired == {"DET-WALLCLOCK", "WAIVER-JUSTIFY"}
+    assert not report.waived
+
+
+def test_justified_waiver_cannot_silence_the_justify_rule():
+    # WAIVER-JUSTIFY is never waivable, else the audit trail could hide
+    # itself: a justified wildcard waiver covering the unjustified
+    # waiver's line must not suppress it.
+    report = lint_source(
+        "# repro: waive[*] -- attempt to hide the audit\n"
+        "x = 1  # repro: waive[DET-WALLCLOCK]\n"
+    )
+    assert any(f.rule == "WAIVER-JUSTIFY" for f in report.active)
+
+
+def test_parse_waivers_extracts_fields():
+    (waiver,) = parse_waivers(
+        "x = 1  # repro: waive[DET-SET-ITER] -- order-free aggregation\n"
+    )
+    assert waiver.rules == frozenset({"DET-SET-ITER"})
+    assert waiver.covers == 1
+    assert waiver.justification == "order-free aggregation"
+
+
+def test_waiver_text_inside_string_literal_is_ignored():
+    report = lint_source(
+        "import time\n"
+        's = "# repro: waive[DET-WALLCLOCK] -- not a comment"\n'
+        "now = time.time()\n"
+    )
+    assert not report.ok
