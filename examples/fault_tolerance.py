@@ -68,8 +68,10 @@ def main():
     def drive():
         for _ in range(20):
             target = sessions[request_rng.randrange(len(sessions))]
+            # record() double-counts if replayed; declaring it keeps an
+            # idempotent-only retry policy from ever re-sending it.
             runtime.client_request(target, "record", "evt",
-                                   on_complete=on_done)
+                                   on_complete=on_done, idempotent=False)
         runtime.sim.schedule(0.05, drive)
 
     runtime.sim.schedule(0.0, drive)

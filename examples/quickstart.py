@@ -17,6 +17,7 @@ from repro import (
     Call,
     ClusterConfig,
     PartitioningConfig,
+    idempotent,
 )
 
 
@@ -34,7 +35,9 @@ class User(Actor):
         self.room = room_ref
         return True
 
+    @idempotent
     def receive(self, text):
+        # Replay-safe: inbox is a delivery diagnostic, not an exact count.
         self.inbox += 1
         return self.inbox
 
@@ -78,7 +81,9 @@ def main():
              for r in range(12)}
     for r, room in enumerate(rooms):
         for user in users[r]:
-            runtime.client_request(room, "add_member", user)
+            # Joining twice would duplicate the membership entry, so the
+            # request is declared non-replayable.
+            runtime.client_request(room, "add_member", user, idempotent=False)
             runtime.client_request(user, "join", room)
     runtime.run(until=1.0)
 

@@ -60,6 +60,7 @@ from .actor import (
     SerializationModel,
     Sleep,
     Tell,
+    idempotent,
 )
 from .bench.metrics import (
     HistogramRecorder,
@@ -146,6 +147,7 @@ __all__ = [
     "Tracer",
     "build_cluster",
     "chrome_trace_document",
+    "idempotent",
     "lint_paths",
     "percentile",
     "__version__",

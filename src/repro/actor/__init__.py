@@ -7,7 +7,7 @@ paths, and the transparent opportunistic migration machinery of §4.3.
 """
 
 from .activation import Activation, WorkItem, WorkKind
-from .actor import DEFAULT_COMPUTE, DEFAULT_RESUME_COMPUTE, Actor
+from .actor import DEFAULT_COMPUTE, DEFAULT_RESUME_COMPUTE, Actor, idempotent
 from .calls import All, Call, Sleep, Tell
 from .directory import Directory, LocationCache
 from .errors import ActorError, CallTimeout, RequestShed
@@ -54,4 +54,5 @@ __all__ = [
     "Sleep",
     "WorkItem",
     "WorkKind",
+    "idempotent",
 ]

@@ -20,10 +20,25 @@ from typing import Any, ClassVar, Optional
 
 from .ids import ActorId, ActorRef
 
-__all__ = ["Actor", "DEFAULT_COMPUTE", "DEFAULT_RESUME_COMPUTE"]
+__all__ = ["Actor", "DEFAULT_COMPUTE", "DEFAULT_RESUME_COMPUTE", "idempotent"]
 
 DEFAULT_COMPUTE = 50e-6          # 50 µs of application logic per invocation
 DEFAULT_RESUME_COMPUTE = 5e-6    # 5 µs to resume a suspended turn
+
+
+def idempotent(method):
+    """Mark an actor method as safe to replay.
+
+    A retrying :class:`~repro.faults.resilience.ResilienceConfig` may
+    re-send a timed-out request whose first attempt already executed.
+    This marker documents (and lets the ``FLOW-RETRY-NONIDEMPOTENT``
+    lint rule verify) that replaying the method converges — e.g. a
+    last-writer-wins status write, or a monotonic counter that is only
+    read as a liveness signal, never as an exact count.  It has no
+    runtime effect.
+    """
+    method.__repro_idempotent__ = True
+    return method
 
 
 class Actor:

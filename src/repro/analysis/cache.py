@@ -1,0 +1,119 @@
+"""Per-file lint result cache (opt-in via ``repro lint --cache``).
+
+One JSON entry per linted file under ``.repro-lint-cache/``, keyed by
+the file's repo-relative path and validated by ``(mtime_ns, size)``
+with a sha256 fallback: a touched-but-identical file revalidates by
+hash and the entry's stat fields are refreshed.  Entries also carry a
+ruleset signature (rule names + selection + package version) so adding
+or selecting rules invalidates stale results.
+
+Only the *per-file* pass is cached.  The flow pass is interprocedural —
+any file can change another file's findings — so it is recomputed on
+every run (it is one sweep over already-parsed sources, not the
+dominant cost).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Optional
+
+from .findings import Finding
+
+__all__ = ["LintCache", "DEFAULT_CACHE_DIR"]
+
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+_SCHEMA = 1
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class LintCache:
+    def __init__(self, root: str, ruleset_signature: str):
+        self.root = root
+        self.signature = ruleset_signature
+        self.hits = 0
+        self.misses = 0
+        os.makedirs(root, exist_ok=True)
+
+    def _entry_path(self, rel: str) -> str:
+        digest = _sha256(rel.replace("\\", "/").encode("utf-8"))[:24]
+        return os.path.join(self.root, f"{digest}.json")
+
+    def get(self, rel: str, abspath: str,
+            source: str) -> Optional[tuple]:
+        """Cached ``(findings, parse_errors)`` for ``rel``, or None."""
+        entry_path = self._entry_path(rel)
+        try:
+            with open(entry_path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (entry.get("schema") != _SCHEMA
+                or entry.get("path") != rel
+                or entry.get("signature") != self.signature):
+            self.misses += 1
+            return None
+        try:
+            stat = os.stat(abspath)
+        except OSError:
+            self.misses += 1
+            return None
+        fresh = (entry.get("mtime_ns") == stat.st_mtime_ns
+                 and entry.get("size") == stat.st_size)
+        if not fresh:
+            # mtime moved: revalidate by content hash (e.g. a clean
+            # checkout or a touch without edits).
+            if entry.get("sha256") != _sha256(source.encode("utf-8")):
+                self.misses += 1
+                return None
+            entry["mtime_ns"] = stat.st_mtime_ns
+            entry["size"] = stat.st_size
+            self._write(entry_path, entry)
+        self.hits += 1
+        return (
+            [Finding.from_dict(d) for d in entry.get("findings", [])],
+            [Finding.from_dict(d) for d in entry.get("parse_errors", [])],
+        )
+
+    def put(self, rel: str, abspath: str, source: str,
+            findings: list, parse_errors: list) -> None:
+        try:
+            stat = os.stat(abspath)
+        except OSError:
+            return
+        entry = {
+            "schema": _SCHEMA,
+            "path": rel,
+            "signature": self.signature,
+            "mtime_ns": stat.st_mtime_ns,
+            "size": stat.st_size,
+            "sha256": _sha256(source.encode("utf-8")),
+            "findings": [_finding_doc(f) for f in findings],
+            "parse_errors": [_finding_doc(f) for f in parse_errors],
+        }
+        self._write(self._entry_path(rel), entry)
+
+    @staticmethod
+    def _write(path: str, entry: dict) -> None:
+        tmp = f"{path}.tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp, path)
+        except OSError:
+            pass                      # cache is best-effort
+
+
+def _finding_doc(finding: Finding) -> dict:
+    doc = finding.to_dict()
+    # to_dict drops the justification for unwaived findings; keep the
+    # round-trip exact regardless.
+    doc["justification"] = finding.justification
+    return doc

@@ -1,0 +1,57 @@
+"""Interprocedural message-flow analysis over the actor tree.
+
+Layers, bottom up:
+
+* :mod:`.index` — project-wide symbol index (modules, classes, actor
+  interfaces, registrations, mutations, the blocking-call graph).
+* :mod:`.cfg` — intraprocedural def-use: ``ActorRef`` provenance as an
+  abstract interpretation whose values are sets of actor-type strings.
+* :mod:`.interaction` — the static actor interaction graph, built by an
+  interprocedural fixpoint (refs flowing through fields and call
+  arguments), exportable in the ``comm_graph`` edge format.
+* :mod:`.rules` — the FLOW rule family on top of the graph.
+* :mod:`.crosscheck` — static ⊇ dynamic validation against a seeded
+  runtime slice.
+
+Entry point for the linter: :func:`analyze_files`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..findings import Finding, Severity
+from .crosscheck import crosscheck_halo, dynamic_type_edges, format_crosscheck
+from .index import ProjectIndex, build_index
+from .interaction import InteractionGraph, build_graph
+from .rules import FlowRule, all_flow_rules, run_flow_rules
+
+__all__ = [
+    "ProjectIndex",
+    "InteractionGraph",
+    "FlowRule",
+    "all_flow_rules",
+    "analyze_files",
+    "build_graph",
+    "build_index",
+    "crosscheck_halo",
+    "dynamic_type_edges",
+    "format_crosscheck",
+    "run_flow_rules",
+]
+
+
+def analyze_files(files: Sequence[Tuple[str, str]],
+                  ) -> Tuple[ProjectIndex, InteractionGraph, List[Finding]]:
+    """Index ``(relpath, source)`` pairs, build the interaction graph,
+    and run every FLOW rule.  Parse failures become findings (the
+    per-file pass reports them too; the linter deduplicates)."""
+    index = build_index(files)
+    graph = build_graph(index)
+    findings = run_flow_rules(index, graph)
+    for path, line, msg in index.parse_failures:
+        findings.append(Finding(
+            rule="PARSE-ERROR", severity=Severity.ERROR,
+            path=path, line=line, message=f"file does not parse: {msg}"))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return index, graph, findings

@@ -1,0 +1,394 @@
+"""Light intraprocedural def-use layer: ActorRef provenance.
+
+The question the interaction graph needs answered, per method, is:
+*when this code constructs* ``Call(target, "m", ...)``, *which actor
+types can* ``target`` *be?*  We answer it with a small abstract
+interpreter over one function body.  The abstract value of an
+expression is the set of actor-type strings it may refer to (a ref, or
+any container of refs, collapsed); everything else is the empty set.
+
+Sources of refs::
+
+    ActorRef("player", key)          -> {"player"}
+    runtime.ref(self.PLAYER, key)    -> {"player"}   (constants resolved)
+    self.self_ref()                  -> the enclosing class's types
+
+Propagation is monotone (assignments union into the environment), so a
+fixed number of passes over the statement list converges regardless of
+loop structure; over-approximation is exactly what we want for a
+static ⊇ dynamic graph.  Comprehension targets are bound from their
+iterables, so ``All([Call(p, "update") for p in self.members])``
+resolves ``p`` through the tracked type of ``self.members``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..rules import _attr_chain
+from .index import ClassInfo, ModuleInfo, ProjectIndex
+
+__all__ = ["CallSite", "EvalResult", "MethodEval"]
+
+TypeSet = FrozenSet[str]
+EMPTY: TypeSet = frozenset()
+
+#: Builtins / methods through which a ref (or a container of refs)
+#: passes unchanged for our purposes.
+_PASSTHROUGH_FUNCS = frozenset({
+    "list", "tuple", "set", "frozenset", "sorted", "reversed",
+    "copy", "deepcopy", "choice", "sample", "next", "enumerate",
+    "zip", "map", "filter", "min", "max",
+})
+_PASSTHROUGH_METHODS = frozenset({
+    "values", "items", "get", "pop", "popleft", "popitem", "copy",
+})
+
+#: ``self.<field>.<method>(x)`` calls that store ``x`` in the container.
+_CONTAINER_ADDERS = frozenset({
+    "append", "add", "insert", "extend", "update", "setdefault",
+    "appendleft",
+})
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One message-send site: ``Call``/``Tell`` construction or a
+    ``client_request`` invocation."""
+
+    kind: str                    # "call" | "tell" | "client"
+    path: str
+    line: int
+    target_types: TypeSet        # resolved actor types ('' never appears)
+    method: Optional[str]        # None when not a string literal/constant
+    n_args: int                  # positional args after the method name
+    arg_types: Tuple[TypeSet, ...]
+    idempotent_kwarg: Optional[bool]   # client sites only
+    caller_class: Optional[str]  # simple class name, if inside a class
+    caller_method: Optional[str]
+
+
+@dataclass
+class EvalResult:
+    sites: List[CallSite] = field(default_factory=list)
+    # (field_name, types) for self.<field> assignments that carry refs
+    field_flows: List[Tuple[str, TypeSet]] = field(default_factory=list)
+
+
+class MethodEval:
+    """Abstract interpretation of one function/method body."""
+
+    def __init__(self, index: ProjectIndex, mod: ModuleInfo,
+                 cls: Optional[ClassInfo], fn: ast.AST,
+                 self_types: TypeSet,
+                 param_types: Optional[Dict[str, TypeSet]] = None,
+                 field_types: Optional[Dict[str, TypeSet]] = None):
+        self.index = index
+        self.mod = mod
+        self.cls = cls
+        self.fn = fn
+        self.self_types = self_types
+        self.env: Dict[str, TypeSet] = {}
+        for fname, types in (field_types or {}).items():
+            self.env[f"self.{fname}"] = types
+        for pname, types in (param_types or {}).items():
+            self.env[pname] = types
+        self.collecting = False
+        self.result = EvalResult()
+
+    def run(self) -> EvalResult:
+        body = getattr(self.fn, "body", [])
+        # Two monotone env-building passes (stabilises flows through
+        # loops and forward uses), then one collection pass.
+        for _ in range(2):
+            self._exec_block(body)
+        self.collecting = True
+        self._exec_block(body)
+        return self.result
+
+    # -- statements ----------------------------------------------------
+
+    def _exec_block(self, stmts: List[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._exec(stmt)
+
+    def _exec(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self._eval(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            self._bind(stmt.target, self._eval(stmt.value))
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._eval(stmt.value)
+        elif isinstance(stmt, ast.For):
+            self._bind(stmt.target, self._eval(stmt.iter))
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                value = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, value)
+            self._exec_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._exec_block(stmt.body)
+            for handler in stmt.handlers:
+                self._exec_block(handler.body)
+            self._exec_block(stmt.orelse)
+            self._exec_block(stmt.finalbody)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs close over the enclosing scope; treat the body
+            # as inline so refs used by callbacks are still seen.
+            self._exec_block(stmt.body)
+        # imports / pass / global / etc.: no ref flow tracked
+
+    def _bind(self, target: ast.expr, value: TypeSet) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = self.env.get(target.id, EMPTY) | value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, value)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, value)
+        elif isinstance(target, ast.Attribute):
+            chain = _attr_chain(target)
+            if chain and chain.startswith("self.") and chain.count(".") == 1:
+                fname = chain.split(".")[1]
+                key = f"self.{fname}"
+                self.env[key] = self.env.get(key, EMPTY) | value
+                if value and not self.collecting:
+                    self.result.field_flows.append((fname, value))
+        elif isinstance(target, ast.Subscript):
+            self._eval(target.slice)
+            self._bind(target.value, value)
+
+    # -- expressions ---------------------------------------------------
+
+    def _eval(self, expr: ast.expr) -> TypeSet:
+        if isinstance(expr, ast.Name):
+            return self.env.get(expr.id, EMPTY)
+        if isinstance(expr, ast.Attribute):
+            chain = _attr_chain(expr)
+            if chain and chain.startswith("self.") and chain.count(".") == 1:
+                return self.env.get(chain, EMPTY)
+            if not isinstance(expr.value, ast.Name):
+                self._eval(expr.value)
+            return EMPTY
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr)
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            out = EMPTY
+            for elt in expr.elts:
+                out |= self._eval(elt)
+            return out
+        if isinstance(expr, ast.Dict):
+            out = EMPTY
+            for key in expr.keys:
+                if key is not None:
+                    out |= self._eval(key)
+            for value in expr.values:
+                out |= self._eval(value)
+            return out
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._eval_comp(expr.generators, [expr.elt])
+        if isinstance(expr, ast.DictComp):
+            return self._eval_comp(expr.generators, [expr.key, expr.value])
+        if isinstance(expr, ast.Subscript):
+            self._eval(expr.slice)
+            return self._eval(expr.value)
+        if isinstance(expr, ast.IfExp):
+            self._eval(expr.test)
+            return self._eval(expr.body) | self._eval(expr.orelse)
+        if isinstance(expr, ast.BinOp):
+            return self._eval(expr.left) | self._eval(expr.right)
+        if isinstance(expr, ast.BoolOp):
+            out = EMPTY
+            for value in expr.values:
+                out |= self._eval(value)
+            return out
+        if isinstance(expr, ast.UnaryOp):
+            self._eval(expr.operand)
+            return EMPTY
+        if isinstance(expr, ast.Compare):
+            self._eval(expr.left)
+            for comp in expr.comparators:
+                self._eval(comp)
+            return EMPTY
+        if isinstance(expr, ast.Starred):
+            return self._eval(expr.value)
+        if isinstance(expr, (ast.Yield, ast.YieldFrom, ast.Await)):
+            if expr.value is not None:
+                self._eval(expr.value)
+            return EMPTY
+        if isinstance(expr, ast.JoinedStr):
+            for value in expr.values:
+                if isinstance(value, ast.FormattedValue):
+                    self._eval(value.value)
+            return EMPTY
+        if isinstance(expr, ast.NamedExpr):
+            value = self._eval(expr.value)
+            self._bind(expr.target, value)
+            return value
+        return EMPTY
+
+    def _eval_comp(self, generators: List[ast.comprehension],
+                   results: List[ast.expr]) -> TypeSet:
+        saved = dict(self.env)
+        try:
+            for gen in generators:
+                value = self._eval(gen.iter)
+                # Comprehension targets live in a fresh scope: overwrite,
+                # don't union, or a reused loop-variable name would leak
+                # the outer binding's types into the element type.
+                for node in ast.walk(gen.target):
+                    if isinstance(node, ast.Name):
+                        self.env.pop(node.id, None)
+                self._bind(gen.target, value)
+                for cond in gen.ifs:
+                    self._eval(cond)
+            out = EMPTY
+            for res in results:
+                out |= self._eval(res)
+            return out
+        finally:
+            self.env = saved
+
+    def _eval_call(self, call: ast.Call) -> TypeSet:
+        chain = _attr_chain(call.func)
+        last = chain.split(".")[-1] if chain else None
+        resolved = self.mod.imports.resolve(call.func) if chain else None
+        resolved_last = resolved.split(".")[-1] if resolved else last
+
+        if resolved_last in ("Call", "Tell"):
+            self._register_message(call, "call" if resolved_last == "Call"
+                                   else "tell")
+            return EMPTY
+        if last == "client_request" and call.args:
+            self._register_client(call)
+            return EMPTY
+        if last == "self_ref":
+            self._eval_args(call)
+            return self.self_types
+        if last == "ref" and call.args:
+            self._eval_args(call)
+            type_name = self.index.const_str(call.args[0], self.mod, self.cls)
+            return frozenset({type_name}) if type_name else EMPTY
+        if resolved_last == "ActorRef" and call.args:
+            self._eval_args(call)
+            type_name = self.index.const_str(call.args[0], self.mod, self.cls)
+            return frozenset({type_name}) if type_name else EMPTY
+        if last in _PASSTHROUGH_FUNCS:
+            out = EMPTY
+            for arg in call.args:
+                out |= self._eval(arg)
+            for kw in call.keywords:
+                self._eval(kw.value)
+            return out
+        if last in _PASSTHROUGH_METHODS and isinstance(call.func,
+                                                       ast.Attribute):
+            self._eval_args(call)
+            return self._eval(call.func.value)
+        if last == "All":
+            # All([...]) wraps Calls; evaluating args registers them.
+            self._eval_args(call)
+            return EMPTY
+        if (chain is not None and chain.startswith("self.")
+                and chain.count(".") == 2 and last in _CONTAINER_ADDERS):
+            # self.<field>.append(ref) etc.: refs flow into the field.
+            fname = chain.split(".")[1]
+            added = EMPTY
+            for arg in call.args:
+                added |= self._eval(arg)
+            for kw in call.keywords:
+                added |= self._eval(kw.value)
+            if added:
+                key = f"self.{fname}"
+                self.env[key] = self.env.get(key, EMPTY) | added
+                if not self.collecting:
+                    self.result.field_flows.append((fname, added))
+            return EMPTY
+        self._eval_args(call)
+        if not isinstance(call.func, (ast.Name, ast.Attribute)):
+            self._eval(call.func)
+        return EMPTY
+
+    def _eval_args(self, call: ast.Call) -> None:
+        for arg in call.args:
+            self._eval(arg)
+        for kw in call.keywords:
+            self._eval(kw.value)
+
+    def _register_message(self, call: ast.Call, kind: str) -> None:
+        if not call.args:
+            return
+        target_types = self._eval(call.args[0])
+        method = None
+        if len(call.args) >= 2:
+            method = self.index.const_str(call.args[1], self.mod, self.cls)
+        rest = call.args[2:]
+        arg_types = tuple(self._eval(a) for a in rest
+                          if not isinstance(a, ast.Starred))
+        n_args = len([a for a in rest if not isinstance(a, ast.Starred)])
+        has_star = any(isinstance(a, ast.Starred) for a in rest)
+        for a in rest:
+            if isinstance(a, ast.Starred):
+                self._eval(a.value)
+        for kw in call.keywords:
+            self._eval(kw.value)
+        if self.collecting:
+            self.result.sites.append(CallSite(
+                kind=kind, path=self.mod.path, line=call.lineno,
+                target_types=target_types, method=method,
+                n_args=-1 if has_star else n_args, arg_types=arg_types,
+                idempotent_kwarg=None,
+                caller_class=self.cls.name if self.cls else None,
+                caller_method=getattr(self.fn, "name", None),
+            ))
+
+    def _register_client(self, call: ast.Call) -> None:
+        target_types = self._eval(call.args[0])
+        method = None
+        if len(call.args) >= 2:
+            method = self.index.const_str(call.args[1], self.mod, self.cls)
+        rest = call.args[2:]
+        arg_types = tuple(self._eval(a) for a in rest
+                          if not isinstance(a, ast.Starred))
+        has_star = any(isinstance(a, ast.Starred) for a in rest)
+        for a in rest:
+            if isinstance(a, ast.Starred):
+                self._eval(a.value)
+        idempotent: Optional[bool] = None
+        for kw in call.keywords:
+            self._eval(kw.value)
+            if kw.arg == "idempotent" and isinstance(kw.value, ast.Constant):
+                idempotent = bool(kw.value.value)
+        if self.collecting:
+            self.result.sites.append(CallSite(
+                kind="client", path=self.mod.path, line=call.lineno,
+                target_types=target_types, method=method,
+                n_args=-1 if has_star else len(arg_types),
+                arg_types=arg_types, idempotent_kwarg=idempotent,
+                caller_class=self.cls.name if self.cls else None,
+                caller_method=getattr(self.fn, "name", None),
+            ))

@@ -1,0 +1,102 @@
+"""Static-vs-dynamic interaction-graph cross-check.
+
+The partitioning half of the paper plans over the *observed* actor
+communication graph.  The flow pass derives the same graph statically —
+so the two must agree in one direction: every edge the runtime ever
+records between actor types must be present in the static graph
+(static ⊇ dynamic).  A dynamic edge missing from the static graph means
+the flow analysis lost provenance somewhere (or code constructs refs in
+a way the evaluator cannot see) — either way the static graph cannot be
+trusted as a planning input, so the check fails loudly.
+
+The dynamic side drives the same seeded Halo slice the sanitizer uses
+and sweeps every activation's communication counters each horizon
+step, projecting ``ActorId`` pairs down to actor-type pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = ["dynamic_type_edges", "crosscheck_halo", "format_crosscheck"]
+
+
+def dynamic_type_edges(requests: int = 2_000, seed: int = 5,
+                       players: int = 200, num_servers: int = 3,
+                       ) -> Tuple[Dict[Tuple[str, str], float], dict]:
+    """Run a seeded Halo slice; return observed type-level comm edges.
+
+    Sweeps ``Activation.comm_counters`` (draining them, as the ActOp
+    partition agent would) every simulated second, so edges from
+    activations that later deactivate are still captured.
+    """
+    from ...bench.harness import HaloExperiment
+
+    exp = HaloExperiment(players=players, num_servers=num_servers, seed=seed)
+    rt = exp.runtime
+    exp.workload.start()
+    exp.cluster.start()
+
+    edges: Dict[Tuple[str, str], float] = {}
+
+    def sweep() -> None:
+        for silo in rt.silos:
+            for actor_id, activation in silo.activations.items():
+                if not activation.comm_counters:
+                    continue
+                for peer, weight in activation.drain_counters().items():
+                    pair = tuple(sorted((actor_id.actor_type,
+                                         peer.actor_type)))
+                    edges[pair] = edges.get(pair, 0.0) + weight
+
+    horizon = 0.0
+    while rt.requests_completed < requests and horizon < 120.0:
+        horizon += 1.0
+        rt.run(until=horizon)
+        sweep()
+    sweep()
+    meta = {
+        "requests_completed": rt.requests_completed,
+        "horizon_s": horizon,
+        "players": players,
+        "num_servers": num_servers,
+        "seed": seed,
+    }
+    return edges, meta
+
+
+def crosscheck_halo(static_graph, requests: int = 2_000,
+                    seed: int = 5) -> dict:
+    """Diff a seeded Halo slice's observed edges against ``static_graph``
+    (an :class:`~repro.analysis.flow.interaction.InteractionGraph`).
+
+    Returns a JSON-able report; ``ok`` iff observed ⊆ static.
+    """
+    static_pairs = set(static_graph.type_edge_weights())
+    dynamic, meta = dynamic_type_edges(requests=requests, seed=seed)
+    missing = sorted(pair for pair in dynamic if pair not in static_pairs)
+    return {
+        "schema": 1,
+        "slice": meta,
+        "static_edges": [[u, v, w] for (u, v), w in
+                         sorted(static_graph.type_edge_weights().items())],
+        "dynamic_edges": [[u, v, w] for (u, v), w in sorted(dynamic.items())],
+        "missing_from_static": [[u, v] for (u, v) in missing],
+        "ok": not missing,
+    }
+
+
+def format_crosscheck(report: dict) -> List[str]:
+    """Human-readable lines for the CLI table footer."""
+    lines = [
+        f"graph cross-check: {len(report['dynamic_edges'])} observed "
+        f"type edge(s) over {report['slice']['requests_completed']} "
+        f"requests, {len(report['static_edges'])} static edge(s)",
+    ]
+    if report["ok"]:
+        lines.append("  every observed edge is present in the static graph "
+                     "(static ⊇ dynamic)")
+    else:
+        for u, v in report["missing_from_static"]:
+            lines.append(f"  MISSING from static graph: {u} <-> {v}")
+    return lines

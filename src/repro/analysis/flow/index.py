@@ -1,0 +1,614 @@
+"""Project-wide symbol index for the message-flow analysis.
+
+The per-file rules in :mod:`repro.analysis.rules` are lexical: they see
+one module at a time.  The flow pass needs the whole tree at once —
+which classes are actors (transitively, through bases defined in other
+files), what methods they expose and with what arity, which string an
+``ActorRef("player", ...)`` resolves to which class (via
+``runtime.register_actor`` sites and ``TYPE = "player"`` class
+constants), and where actor state is mutated.  :class:`ProjectIndex`
+extracts all of that in one deterministic sweep so the interaction
+graph (:mod:`.interaction`) and the FLOW rules (:mod:`.rules`) can be
+purely computational on top.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..rules import (  # reuse the per-file helpers: one resolution behaviour
+    _attr_chain,
+    _BLOCKING_CALLS,
+    _BLOCKING_PREFIXES,
+    _ImportTracker,
+    _is_actor_class,
+)
+
+__all__ = [
+    "ACTOR_BASE_METHODS",
+    "ClassInfo",
+    "FieldWrite",
+    "MethodInfo",
+    "ModuleInfo",
+    "Mutation",
+    "ProjectIndex",
+    "build_index",
+]
+
+#: Methods every :class:`repro.actor.Actor` provides.  Used when a base
+#: class named ``Actor``/``*Actor`` cannot be resolved inside the index
+#: (e.g. fixture stand-ins that import it from an unindexed module).
+ACTOR_BASE_METHODS = frozenset({
+    "on_activate", "on_deactivate", "self_ref",
+    "capture_state", "restore_state",
+})
+
+#: Method names on ``self.<field>`` whose call mutates the container in a
+#: non-idempotent way when replayed (``clear``/``copy`` are excluded:
+#: replaying them converges).
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "appendleft", "popleft",
+})
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One non-idempotent state mutation inside an actor method."""
+
+    field_name: str
+    line: int
+    desc: str
+
+
+@dataclass(frozen=True)
+class FieldWrite:
+    """One ``self.<field> = value`` assignment (any value shape)."""
+
+    field_name: str
+    line: int
+    method: str
+    value: ast.expr
+
+
+@dataclass
+class MethodInfo:
+    """Signature + body facts for one method."""
+
+    name: str
+    lineno: int
+    min_pos: int                 # required positional args (excl. self)
+    max_pos: Optional[int]       # None => *args
+    is_generator: bool
+    idempotent: bool             # @idempotent / IDEMPOTENT = {...}
+    mutations: List[Mutation] = field(default_factory=list)
+    field_writes: List[FieldWrite] = field(default_factory=list)
+    node: Optional[ast.AST] = None
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    module: str                  # dotted module name ("repro.workloads.halo")
+    path: str                    # repo-relative path, for findings
+    lineno: int
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, MethodInfo] = field(default_factory=dict)
+    constants: Dict[str, str] = field(default_factory=dict)  # STR class attrs
+    reentrant: bool = True       # REENTRANT = False flips it
+    is_actor: bool = False       # filled transitively by the index
+    node: Optional[ast.ClassDef] = None
+
+    @property
+    def key(self) -> str:
+        return f"{self.module}.{self.name}"
+
+
+@dataclass
+class FunctionInfo:
+    """A module-level function or a method, for the blocking-call graph."""
+
+    qualname: str                # "repro.x.helper" / "repro.x.Cls.meth"
+    path: str
+    lineno: int
+    blocking: Optional[Tuple[int, str]] = None   # (line, resolved call)
+    calls: List[Tuple[int, str]] = field(default_factory=list)
+    node: Optional[ast.AST] = None
+
+
+@dataclass
+class ModuleInfo:
+    path: str                    # repo-relative
+    name: str                    # dotted
+    source: str
+    tree: ast.Module
+    imports: _ImportTracker
+    constants: Dict[str, str] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    functions: Dict[str, ast.AST] = field(default_factory=dict)
+
+
+def _calls_with_context(tree: ast.Module, mod: "ModuleInfo"):
+    """Yield ``(class_info, enclosing_fn, call_node)`` for every call,
+    tracking the lexically enclosing class and function."""
+    out: List[Tuple[Optional[ClassInfo], Optional[ast.AST], ast.Call]] = []
+
+    def walk(node: ast.AST, cls: Optional[ClassInfo],
+             fn: Optional[ast.AST]) -> None:
+        for child in ast.iter_child_nodes(node):
+            ncls, nfn = cls, fn
+            if isinstance(child, ast.ClassDef):
+                ncls, nfn = mod.classes.get(child.name), None
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nfn = child
+            if isinstance(child, ast.Call):
+                out.append((cls, fn, child))
+            walk(child, ncls, nfn)
+
+    walk(tree, None, None)
+    return out
+
+
+def _module_name(relpath: str) -> str:
+    parts = relpath.replace("\\", "/").split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _const_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _decorator_names(fn: ast.AST) -> List[str]:
+    names = []
+    for dec in getattr(fn, "decorator_list", []):
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        chain = _attr_chain(target)
+        if chain:
+            names.append(chain.split(".")[-1])
+    return names
+
+
+def _generator_check(fn: ast.FunctionDef) -> bool:
+    """True if ``fn`` itself (not a nested def/lambda) yields."""
+    class _Finder(ast.NodeVisitor):
+        found = False
+
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            if node is fn:
+                self.generic_visit(node)
+
+        visit_AsyncFunctionDef = visit_FunctionDef
+
+        def visit_Lambda(self, node: ast.Lambda) -> None:
+            pass
+
+        def visit_Yield(self, node: ast.Yield) -> None:
+            self.found = True
+
+        def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+            self.found = True
+
+    finder = _Finder()
+    finder.visit(fn)
+    return finder.found
+
+
+def _expr_mentions_field(expr: ast.expr, field_name: str) -> bool:
+    for node in ast.walk(expr):
+        if (isinstance(node, ast.Attribute) and node.attr == field_name
+                and isinstance(node.value, ast.Name) and node.value.id == "self"):
+            return True
+    return False
+
+
+def _collect_mutations(fn: ast.FunctionDef) -> List[Mutation]:
+    out: List[Mutation] = []
+    for node in ast.walk(fn):
+        if isinstance(node, ast.AugAssign):
+            target = node.target
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                out.append(Mutation(
+                    target.attr, node.lineno,
+                    f"augmented assignment to self.{target.attr}"))
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and _expr_mentions_field(node.value, target.attr)):
+                    out.append(Mutation(
+                        target.attr, node.lineno,
+                        f"self-referential reassignment of self.{target.attr}"))
+        elif isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            if chain and chain.startswith("self."):
+                parts = chain.split(".")
+                if len(parts) >= 3 and parts[-1] in _MUTATOR_METHODS:
+                    out.append(Mutation(
+                        parts[1], node.lineno,
+                        f"call to {chain}() (container mutator)"))
+    out.sort(key=lambda m: (m.line, m.field_name, m.desc))
+    return out
+
+
+def _collect_field_writes(fn: ast.FunctionDef) -> List[FieldWrite]:
+    out: List[FieldWrite] = []
+    for node in ast.walk(fn):
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None:
+            continue
+        for target in targets:
+            elts = target.elts if isinstance(target, (ast.Tuple, ast.List)) \
+                else [target]
+            for elt in elts:
+                if (isinstance(elt, ast.Attribute)
+                        and isinstance(elt.value, ast.Name)
+                        and elt.value.id == "self"):
+                    out.append(FieldWrite(elt.attr, node.lineno, fn.name, value))
+    return out
+
+
+def _method_info(fn: ast.FunctionDef, idempotent_names: frozenset) -> MethodInfo:
+    args = fn.args
+    pos = args.posonlyargs + args.args
+    n = len(pos)
+    has_self = n > 0 and pos[0].arg in ("self", "cls")
+    n_pos = n - (1 if has_self else 0)
+    n_defaults = len(args.defaults)
+    return MethodInfo(
+        name=fn.name,
+        lineno=fn.lineno,
+        min_pos=max(0, n_pos - n_defaults),
+        max_pos=None if args.vararg is not None else n_pos,
+        is_generator=_generator_check(fn),
+        idempotent=("idempotent" in _decorator_names(fn)
+                    or fn.name in idempotent_names),
+        mutations=_collect_mutations(fn),
+        field_writes=_collect_field_writes(fn),
+        node=fn,
+    )
+
+
+def _class_info(cls: ast.ClassDef, module: str, path: str) -> ClassInfo:
+    info = ClassInfo(
+        name=cls.name, module=module, path=path, lineno=cls.lineno,
+        bases=[b for b in (_attr_chain(base) for base in cls.bases) if b],
+        node=cls,
+    )
+    idempotent_names: set = set()
+    for stmt in cls.body:
+        value = None
+        name = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            name, value = stmt.targets[0].id, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            name, value = stmt.target.id, stmt.value
+        if name is None or value is None:
+            continue
+        if name == "REENTRANT" and isinstance(value, ast.Constant):
+            info.reentrant = bool(value.value)
+        elif name == "IDEMPOTENT" and isinstance(value, (ast.Set, ast.List,
+                                                         ast.Tuple)):
+            for elt in value.elts:
+                s = _const_str(elt)
+                if s is not None:
+                    idempotent_names.add(s)
+        else:
+            s = _const_str(value)
+            if s is not None:
+                info.constants[name] = s
+    frozen = frozenset(idempotent_names)
+    for stmt in cls.body:
+        if isinstance(stmt, ast.FunctionDef):
+            info.methods[stmt.name] = _method_info(stmt, frozen)
+    return info
+
+
+class ProjectIndex:
+    """Symbol index over a fixed set of files; everything deterministic."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}           # relpath -> info
+        self.classes_by_name: Dict[str, List[ClassInfo]] = {}
+        self.registrations: Dict[str, List[str]] = {}      # type -> class names
+        self.types_of_class: Dict[str, List[str]] = {}     # class name -> types
+        self.functions: Dict[str, FunctionInfo] = {}       # qualname -> info
+        self.parse_failures: List[Tuple[str, int, str]] = []
+
+    # -- construction --------------------------------------------------
+
+    def add_module(self, relpath: str, source: str) -> None:
+        try:
+            tree = ast.parse(source, filename=relpath)
+        except SyntaxError as err:
+            self.parse_failures.append((relpath, err.lineno or 0,
+                                        err.msg or "syntax error"))
+            return
+        mod = ModuleInfo(
+            path=relpath, name=_module_name(relpath), source=source,
+            tree=tree, imports=_ImportTracker(tree),
+        )
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                s = _const_str(stmt.value)
+                if s is not None:
+                    mod.constants[stmt.targets[0].id] = s
+            elif isinstance(stmt, ast.ClassDef):
+                info = _class_info(stmt, mod.name, relpath)
+                mod.classes[stmt.name] = info
+                self.classes_by_name.setdefault(stmt.name, []).append(info)
+            elif isinstance(stmt, ast.FunctionDef):
+                mod.functions[stmt.name] = stmt
+        self.modules[relpath] = mod
+
+    def finalize(self) -> None:
+        """Resolve transitive actor-ness, registrations, blocking graph."""
+        self._resolve_actors()
+        self._collect_registrations()
+        self._build_function_index()
+
+    def _resolve_actors(self) -> None:
+        def actorish(info: ClassInfo, seen: frozenset) -> bool:
+            if info.key in seen:
+                return False
+            if info.node is not None and _is_actor_class(info.node):
+                return True
+            for base in info.bases:
+                simple = base.split(".")[-1]
+                for candidate in self.classes_by_name.get(simple, []):
+                    if actorish(candidate, seen | {info.key}):
+                        return True
+            return False
+
+        for path in sorted(self.modules):
+            for info in self.modules[path].classes.values():
+                info.is_actor = actorish(info, frozenset())
+
+    def _collect_registrations(self) -> None:
+        for path in sorted(self.modules):
+            mod = self.modules[path]
+            for cls, fn, call in _calls_with_context(mod.tree, mod):
+                chain = _attr_chain(call.func)
+                if not chain or chain.split(".")[-1] != "register_actor":
+                    continue
+                if len(call.args) < 2:
+                    continue
+                type_name = self.const_str(call.args[0], mod, cls)
+                if type_name is None:
+                    continue
+                for cls_name in self._registered_class_names(mod, fn,
+                                                            call.args[1]):
+                    reg = self.registrations.setdefault(type_name, [])
+                    if cls_name not in reg:
+                        reg.append(cls_name)
+                    types = self.types_of_class.setdefault(cls_name, [])
+                    if type_name not in types:
+                        types.append(type_name)
+
+    def _registered_class_names(self, mod: ModuleInfo, fn: Optional[ast.AST],
+                                arg: ast.AST) -> List[str]:
+        """Class simple names the second ``register_actor`` argument may
+        name — directly, through imports, or through a local variable
+        assigned from known classes (``cls = A if flag else B``)."""
+        chain = _attr_chain(arg)
+        if chain is None:
+            return []
+        resolved = mod.imports.resolve(arg) or chain
+        simple = resolved.split(".")[-1]
+        if simple in self.classes_by_name:
+            return [simple]
+        if isinstance(arg, ast.Name) and fn is not None:
+            names: List[str] = []
+            for node in ast.walk(fn):
+                if not (isinstance(node, ast.Assign)
+                        and any(isinstance(t, ast.Name) and t.id == arg.id
+                                for t in node.targets)):
+                    continue
+                for ref in ast.walk(node.value):
+                    if isinstance(ref, ast.Name):
+                        cand = (mod.imports.aliases.get(ref.id, ref.id)
+                                ).split(".")[-1]
+                        if cand in self.classes_by_name and cand not in names:
+                            names.append(cand)
+            return names
+        return [simple] if simple[:1].isupper() else []
+
+    def _build_function_index(self) -> None:
+        for path in sorted(self.modules):
+            mod = self.modules[path]
+            for name in sorted(mod.functions):
+                self._index_function(mod, f"{mod.name}.{name}",
+                                     mod.functions[name], cls=None)
+            for cls_name in sorted(mod.classes):
+                info = mod.classes[cls_name]
+                for mname in sorted(info.methods):
+                    method = info.methods[mname]
+                    if method.node is not None:
+                        self._index_function(
+                            mod, f"{mod.name}.{cls_name}.{mname}",
+                            method.node, cls=info)
+
+    def _index_function(self, mod: ModuleInfo, qualname: str,
+                        fn: ast.AST, cls: Optional[ClassInfo]) -> None:
+        entry = FunctionInfo(qualname=qualname, path=mod.path,
+                             lineno=getattr(fn, "lineno", 0), node=fn)
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = mod.imports.resolve(node.func)
+            if resolved is not None and entry.blocking is None and (
+                    resolved in _BLOCKING_CALLS
+                    or resolved.startswith(_BLOCKING_PREFIXES)):
+                entry.blocking = (node.lineno, resolved)
+                continue
+            callee = self._resolve_callee(mod, cls, node.func)
+            if callee is not None:
+                entry.calls.append((node.lineno, callee))
+        self.functions[qualname] = entry
+
+    def _resolve_callee(self, mod: ModuleInfo, cls: Optional[ClassInfo],
+                        func: ast.AST) -> Optional[str]:
+        chain = _attr_chain(func)
+        if chain is None:
+            return None
+        parts = chain.split(".")
+        if parts[0] == "self" and cls is not None and len(parts) == 2:
+            if parts[1] in cls.methods:
+                return f"{cls.module}.{cls.name}.{parts[1]}"
+            return None
+        if len(parts) == 1:
+            if parts[0] in mod.functions:
+                return f"{mod.name}.{parts[0]}"
+            resolved = mod.imports.resolve(func)
+            if resolved and resolved in self.functions:
+                return resolved
+            if resolved and resolved != parts[0]:
+                return resolved if resolved in self.functions else None
+            return None
+        resolved = mod.imports.resolve(func)
+        if resolved and resolved in self.functions:
+            return resolved
+        return None
+
+    # -- queries -------------------------------------------------------
+
+    def const_str(self, node: ast.AST, mod: ModuleInfo,
+                  cls: Optional[ClassInfo]) -> Optional[str]:
+        """Resolve an expression to a compile-time string, through class
+        attributes (``self.PLAYER``, ``Cls.TYPE``) and module constants."""
+        s = _const_str(node)
+        if s is not None:
+            return s
+        if isinstance(node, ast.Name):
+            if cls is not None and node.id in cls.constants:
+                return cls.constants[node.id]
+            return mod.constants.get(node.id)
+        chain = _attr_chain(node)
+        if chain is None:
+            return None
+        parts = chain.split(".")
+        if len(parts) != 2:
+            return None
+        owner, attr = parts
+        if owner in ("self", "cls") and cls is not None:
+            return cls.constants.get(attr)
+        for candidate in self.classes_by_name.get(owner, []):
+            if attr in candidate.constants:
+                return candidate.constants[attr]
+        return mod.constants.get(chain)
+
+    def classes_for_type(self, type_name: str) -> List[ClassInfo]:
+        """Classes an actor-type string can refer to (registration map,
+        falling back to an exact class-name match)."""
+        names = self.registrations.get(type_name)
+        if not names:
+            names = [type_name] if type_name in self.classes_by_name else []
+        out: List[ClassInfo] = []
+        for name in names:
+            out.extend(self.classes_by_name.get(name, []))
+        return out
+
+    def types_for_class(self, info: ClassInfo) -> List[str]:
+        """Actor-type strings a class is registered under (or its name)."""
+        return self.types_of_class.get(info.name, None) or [info.name]
+
+    def resolve_method(self, info: ClassInfo,
+                       method: str) -> Tuple[Optional[MethodInfo], bool]:
+        """Resolve ``method`` through the MRO within the index.
+
+        Returns ``(method_info, certain)``.  ``certain`` is False when a
+        base class could not be resolved and is not Actor-shaped — the
+        method might exist there, so callers should stay silent.
+        """
+        seen: set = set()
+        stack = [info]
+        certain = True
+        while stack:
+            cur = stack.pop(0)
+            if cur.key in seen:
+                continue
+            seen.add(cur.key)
+            if method in cur.methods:
+                return cur.methods[method], True
+            for base in cur.bases:
+                simple = base.split(".")[-1]
+                candidates = self.classes_by_name.get(simple, [])
+                if candidates:
+                    stack.extend(candidates)
+                elif simple == "Actor" or simple.endswith("Actor"):
+                    if method in ACTOR_BASE_METHODS:
+                        return MethodInfo(
+                            name=method, lineno=0, min_pos=0, max_pos=None,
+                            is_generator=False, idempotent=True), True
+                elif simple in ("object", "Generic", "ABC", "Protocol",
+                                "NamedTuple"):
+                    continue
+                else:
+                    certain = False
+        return None, certain
+
+    def actor_classes(self) -> List[ClassInfo]:
+        out = []
+        for path in sorted(self.modules):
+            for name in sorted(self.modules[path].classes):
+                info = self.modules[path].classes[name]
+                if info.is_actor:
+                    out.append(info)
+        return out
+
+    def all_classes(self) -> List[ClassInfo]:
+        out = []
+        for path in sorted(self.modules):
+            for name in sorted(self.modules[path].classes):
+                out.append(self.modules[path].classes[name])
+        return out
+
+    def blocking_closure(self) -> Dict[str, List[str]]:
+        """qualname -> call chain ending at a blocking primitive, for every
+        function that (transitively) performs blocking I/O."""
+        chains: Dict[str, List[str]] = {}
+        for qualname in sorted(self.functions):
+            entry = self.functions[qualname]
+            if entry.blocking is not None:
+                chains[qualname] = [qualname, entry.blocking[1]]
+        changed = True
+        while changed:
+            changed = False
+            for qualname in sorted(self.functions):
+                if qualname in chains:
+                    continue
+                entry = self.functions[qualname]
+                for _line, callee in entry.calls:
+                    if callee in chains and callee != qualname:
+                        chains[qualname] = [qualname] + chains[callee]
+                        changed = True
+                        break
+        return chains
+
+
+def build_index(files: Sequence[Tuple[str, str]]) -> ProjectIndex:
+    """Build the index from ``(relpath, source)`` pairs."""
+    index = ProjectIndex()
+    for relpath, source in files:
+        index.add_module(relpath, source)
+    index.finalize()
+    return index

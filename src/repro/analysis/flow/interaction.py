@@ -1,0 +1,329 @@
+"""The static actor interaction graph.
+
+Runs the intraprocedural evaluator (:mod:`.cfg`) over every function
+and method in the index, then closes the loop interprocedurally: refs
+stored into actor fields feed the field environment of the next round,
+and refs passed as ``Call`` arguments feed the parameter environment of
+the *target* method (resolved through the registration map).  The
+result is a directed, method-level edge set::
+
+    (caller_type, caller_method) --Call/Tell--> (target_type, target_method)
+
+plus the list of client entry points (``client_request`` sites).  The
+type-level projection is exportable in the ``repro.graph.comm_graph``
+edge format so the static graph can be diffed against a runtime
+:class:`~repro.graph.comm_graph.CommGraph` (static must be a superset
+of anything observed dynamically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .cfg import CallSite, MethodEval
+from .index import ProjectIndex
+
+__all__ = ["Edge", "InteractionGraph", "build_graph"]
+
+TypeSet = FrozenSet[str]
+EMPTY: TypeSet = frozenset()
+
+_MAX_ROUNDS = 10
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One directed message edge between actor types, at method level."""
+
+    caller_type: str             # actor type, or "<client>"
+    caller_method: Optional[str]
+    target_type: str
+    target_method: Optional[str]
+    kind: str                    # "call" | "tell" | "client"
+    path: str
+    line: int
+
+
+class InteractionGraph:
+    def __init__(self, index: ProjectIndex):
+        self.index = index
+        self.sites: List[CallSite] = []
+        self.edges: List[Edge] = []
+        self.field_types: Dict[Tuple[str, str], TypeSet] = {}
+        self.param_types: Dict[Tuple[str, str, str], TypeSet] = {}
+        self.rounds = 0
+
+    # -- construction --------------------------------------------------
+
+    def build(self) -> "InteractionGraph":
+        prev_sig: Optional[tuple] = None
+        for round_no in range(_MAX_ROUNDS):
+            self.rounds = round_no + 1
+            self.sites = self._evaluate_all()
+            self._propagate(self.sites)
+            sig = (
+                tuple(sorted((k, tuple(sorted(v)))
+                             for k, v in self.field_types.items())),
+                tuple(sorted((k, tuple(sorted(v)))
+                             for k, v in self.param_types.items())),
+            )
+            if sig == prev_sig:
+                break
+            prev_sig = sig
+        self._derive_edges()
+        return self
+
+    def _evaluate_all(self) -> List[CallSite]:
+        sites: List[CallSite] = []
+        for path in sorted(self.index.modules):
+            mod = self.index.modules[path]
+            for fname in sorted(mod.functions):
+                ev = MethodEval(self.index, mod, None, mod.functions[fname],
+                                self_types=EMPTY)
+                result = ev.run()
+                sites.extend(result.sites)
+            for cname in sorted(mod.classes):
+                cls = mod.classes[cname]
+                self_types = (frozenset(self.index.types_for_class(cls))
+                              if cls.is_actor else EMPTY)
+                field_env = {
+                    f: types for (ckey, f), types in self.field_types.items()
+                    if ckey == cls.key
+                }
+                for mname in sorted(cls.methods):
+                    method = cls.methods[mname]
+                    if method.node is None:
+                        continue
+                    param_env = {
+                        p: types
+                        for (ckey, m, p), types in self.param_types.items()
+                        if ckey == cls.key and m == mname
+                    }
+                    ev = MethodEval(self.index, mod, cls, method.node,
+                                    self_types=self_types,
+                                    param_types=param_env,
+                                    field_types=field_env)
+                    result = ev.run()
+                    sites.extend(result.sites)
+                    for fname2, types in result.field_flows:
+                        key = (cls.key, fname2)
+                        self.field_types[key] = (
+                            self.field_types.get(key, EMPTY) | types)
+        return sites
+
+    def _propagate(self, sites: Sequence[CallSite]) -> None:
+        """Push argument ref types into target-method parameters."""
+        for site in sites:
+            if site.method is None or not site.target_types:
+                continue
+            if not any(site.arg_types):
+                continue
+            for type_name in sorted(site.target_types):
+                for cls in self.index.classes_for_type(type_name):
+                    method = cls.methods.get(site.method)
+                    if method is None or method.node is None:
+                        continue
+                    args = method.node.args
+                    pos = (args.posonlyargs + args.args)
+                    names = [a.arg for a in pos]
+                    if names and names[0] in ("self", "cls"):
+                        names = names[1:]
+                    for i, types in enumerate(site.arg_types):
+                        if not types:
+                            continue
+                        if i < len(names):
+                            key = (cls.key, site.method, names[i])
+                        elif args.vararg is not None:
+                            key = (cls.key, site.method, args.vararg.arg)
+                        else:
+                            continue
+                        self.param_types[key] = (
+                            self.param_types.get(key, EMPTY) | types)
+
+    def _derive_edges(self) -> None:
+        edges: List[Edge] = []
+        seen: set = set()
+        for site in self.sites:
+            if site.kind == "client":
+                caller_types: List[Optional[str]] = ["<client>"]
+            elif site.caller_class is not None:
+                candidates = self.index.classes_by_name.get(
+                    site.caller_class, [])
+                actor_cls = [c for c in candidates if c.is_actor]
+                if not actor_cls:
+                    continue          # Call built outside an actor turn
+                caller_types = sorted({
+                    t for c in actor_cls
+                    for t in self.index.types_for_class(c)})
+            else:
+                continue
+            for ct in caller_types:
+                for tt in sorted(site.target_types):
+                    edge = Edge(
+                        caller_type=ct or "<client>",
+                        caller_method=site.caller_method,
+                        target_type=tt, target_method=site.method,
+                        kind=site.kind, path=site.path, line=site.line)
+                    key = (edge.caller_type, edge.caller_method,
+                           edge.target_type, edge.target_method, edge.kind,
+                           edge.path, edge.line)
+                    if key not in seen:
+                        seen.add(key)
+                        edges.append(edge)
+        edges.sort(key=lambda e: (e.path, e.line, e.caller_type,
+                                  e.target_type, e.target_method or ""))
+        self.edges = edges
+
+    # -- queries -------------------------------------------------------
+
+    def client_sites(self) -> List[CallSite]:
+        return [s for s in self.sites if s.kind == "client"]
+
+    def actor_edges(self) -> List[Edge]:
+        return [e for e in self.edges if e.caller_type != "<client>"]
+
+    def type_call_graph(self, kinds: Sequence[str] = ("call",),
+                        ) -> Dict[str, List[str]]:
+        """Type-level directed adjacency restricted to ``kinds``."""
+        adj: Dict[str, List[str]] = {}
+        for edge in self.actor_edges():
+            if edge.kind not in kinds:
+                continue
+            succ = adj.setdefault(edge.caller_type, [])
+            if edge.target_type not in succ:
+                succ.append(edge.target_type)
+            adj.setdefault(edge.target_type, [])
+        for succ in adj.values():
+            succ.sort()
+        return adj
+
+    def call_cycles(self) -> List[List[str]]:
+        """Type-level strongly connected components of the ``Call``-only
+        graph with more than one node, plus single-node self-loops.
+        Tell edges are excluded by construction: an async Tell does not
+        hold the caller's turn open, so it cannot deadlock."""
+        adj = self.type_call_graph(kinds=("call",))
+        order: List[str] = []
+        seen: set = set()
+
+        def dfs(start: str, graph: Dict[str, List[str]],
+                visit) -> None:
+            stack: List[Tuple[str, int]] = [(start, 0)]
+            seen.add(start)
+            while stack:
+                node, i = stack.pop()
+                succs = graph.get(node, [])
+                if i < len(succs):
+                    stack.append((node, i + 1))
+                    nxt = succs[i]
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append((nxt, 0))
+                else:
+                    visit(node)
+
+        for node in sorted(adj):
+            if node not in seen:
+                dfs(node, adj, order.append)
+        radj: Dict[str, List[str]] = {n: [] for n in adj}
+        for u, succs in adj.items():
+            for v in succs:
+                radj[v].append(u)
+        seen = set()
+        sccs: List[List[str]] = []
+        for node in reversed(order):
+            if node not in seen:
+                comp: List[str] = []
+                dfs(node, radj, comp.append)
+                sccs.append(sorted(comp))
+        out = []
+        for comp in sccs:
+            if len(comp) > 1:
+                out.append(comp)
+            elif comp and comp[0] in adj.get(comp[0], []):
+                out.append(comp)   # self-loop: actor Calls its own type
+        out.sort()
+        return out
+
+    def method_adjacency(self) -> Dict[Tuple[str, str],
+                                       List[Tuple[str, str, Edge]]]:
+        """(type, method) -> [(target_type, target_method, edge)] over
+        Call *and* Tell edges (a retried request replays both)."""
+        adj: Dict[Tuple[str, str], List[Tuple[str, str, Edge]]] = {}
+        for edge in self.actor_edges():
+            if edge.caller_method is None or edge.target_method is None:
+                continue
+            adj.setdefault((edge.caller_type, edge.caller_method), []).append(
+                (edge.target_type, edge.target_method, edge))
+        for succs in adj.values():
+            succs.sort(key=lambda t: (t[0], t[1], t[2].path, t[2].line))
+        return adj
+
+    def reachable_methods(self, start_type: str, start_method: str,
+                          ) -> List[Tuple[str, str, List[str]]]:
+        """BFS over method-level edges from one entry point.
+
+        Returns ``[(type, method, chain)]`` including the start, where
+        ``chain`` is a human-readable hop list for diagnostics."""
+        adj = self.method_adjacency()
+        start = (start_type, start_method)
+        frontier = [start]
+        chains: Dict[Tuple[str, str], List[str]] = {
+            start: [f"{start_type}.{start_method}"]}
+        order: List[Tuple[str, str]] = [start]
+        while frontier:
+            nxt: List[Tuple[str, str]] = []
+            for node in frontier:
+                for tt, tm, _edge in adj.get(node, []):
+                    succ = (tt, tm)
+                    if succ not in chains:
+                        chains[succ] = chains[node] + [f"{tt}.{tm}"]
+                        order.append(succ)
+                        nxt.append(succ)
+            frontier = nxt
+        return [(t, m, chains[(t, m)]) for t, m in order]
+
+    # -- export --------------------------------------------------------
+
+    def type_edge_weights(self) -> Dict[Tuple[str, str], int]:
+        """Undirected type-level edges (actor↔actor only), weighted by
+        the number of distinct method-level call sites."""
+        weights: Dict[Tuple[str, str], int] = {}
+        for edge in self.actor_edges():
+            pair = tuple(sorted((edge.caller_type, edge.target_type)))
+            weights[pair] = weights.get(pair, 0) + 1
+        return weights
+
+    def to_comm_graph(self):
+        """Materialise as :class:`repro.graph.comm_graph.CommGraph`."""
+        from ...graph.comm_graph import CommGraph
+
+        graph = CommGraph()
+        for (u, v), w in sorted(self.type_edge_weights().items()):
+            graph.add_edge(u, v, float(w))
+        return graph
+
+    def to_dict(self) -> dict:
+        vertices = sorted({e.caller_type for e in self.edges}
+                          | {e.target_type for e in self.edges})
+        return {
+            "schema": 1,
+            "format": "comm_graph/edges",
+            "vertices": vertices,
+            "edges": [[u, v, w] for (u, v), w in
+                      sorted(self.type_edge_weights().items())],
+            "directed_edges": [
+                {
+                    "caller": e.caller_type, "caller_method": e.caller_method,
+                    "target": e.target_type, "target_method": e.target_method,
+                    "kind": e.kind, "site": f"{e.path}:{e.line}",
+                }
+                for e in self.edges
+            ],
+            "rounds": self.rounds,
+        }
+
+
+def build_graph(index: ProjectIndex) -> InteractionGraph:
+    return InteractionGraph(index).build()

@@ -1,0 +1,331 @@
+"""The FLOW rule family: interprocedural checks on the interaction graph.
+
+Unlike the per-file rules in :mod:`repro.analysis.rules`, these run
+once over the whole project index + interaction graph.  They share the
+same :class:`~repro.analysis.findings.Finding` type and the same waiver
+mechanism (a ``# repro: waive[FLOW-...]`` on the reported line), so the
+report and the CI gate treat both families uniformly.
+
+The deadlock argument behind ``FLOW-CALL-CYCLE``: the runtime executes
+actors turn by turn, and a synchronous ``Call`` holds the caller's turn
+open until the response arrives.  A reentrant actor (the default) lets
+calls belonging to the same call chain re-enter, so ``A Call B Call A``
+completes.  With ``REENTRANT = False`` the scheduler parks every new
+invocation while a turn is open (``Activation.next_eligible``), so a
+Call cycle through a non-reentrant actor can never make progress — the
+cycle only resolves by call timeout.  The rule therefore fires exactly
+when a Call-only cycle contains a non-reentrant participant.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, List, Optional, Tuple, Type
+
+from ..findings import Finding, Severity
+from ..rules import _attr_chain
+from .index import ProjectIndex
+from .interaction import InteractionGraph
+
+__all__ = ["FlowRule", "all_flow_rules", "run_flow_rules",
+           "FLOW_UNKNOWN_METHOD", "FLOW_CALL_CYCLE",
+           "FLOW_RETRY_NONIDEMPOTENT", "FLOW_BLOCKING_TRANSITIVE",
+           "FLOW_MIGRATION_UNSAFE"]
+
+FLOW_UNKNOWN_METHOD = "FLOW-UNKNOWN-METHOD"
+FLOW_CALL_CYCLE = "FLOW-CALL-CYCLE"
+FLOW_RETRY_NONIDEMPOTENT = "FLOW-RETRY-NONIDEMPOTENT"
+FLOW_BLOCKING_TRANSITIVE = "FLOW-BLOCKING-TRANSITIVE"
+FLOW_MIGRATION_UNSAFE = "FLOW-MIGRATION-UNSAFE"
+
+_FLOW_REGISTRY: List[Type["FlowRule"]] = []
+
+
+class FlowRule:
+    """One project-wide rule.  Subclasses implement :meth:`check`."""
+
+    name: ClassVar[str] = ""
+    severity: ClassVar[Severity] = Severity.ERROR
+    description: ClassVar[str] = ""
+    rationale: ClassVar[str] = ""
+
+    def check(self, index: ProjectIndex,
+              graph: InteractionGraph) -> List[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, line: int, message: str) -> Finding:
+        return Finding(rule=self.name, severity=self.severity,
+                       path=path, line=line, message=message)
+
+
+def _register(cls: Type[FlowRule]) -> Type[FlowRule]:
+    _FLOW_REGISTRY.append(cls)
+    return cls
+
+
+def all_flow_rules() -> Tuple[Type[FlowRule], ...]:
+    return tuple(_FLOW_REGISTRY)
+
+
+@_register
+class UnknownMethodRule(FlowRule):
+    name = FLOW_UNKNOWN_METHOD
+    description = "message targets a method the actor class does not define"
+    rationale = ("Call/Tell dispatch is by string: a typo or a stale rename "
+                 "only fails at runtime, inside the target silo.")
+
+    def check(self, index: ProjectIndex,
+              graph: InteractionGraph) -> List[Finding]:
+        findings: List[Finding] = []
+        for site in graph.sites:
+            if site.method is None or not site.target_types:
+                continue
+            for type_name in sorted(site.target_types):
+                classes = index.classes_for_type(type_name)
+                if not classes:
+                    continue        # unresolvable type: stay silent
+                missing_everywhere = True
+                arity_ok_somewhere = False
+                uncertain = False
+                sig_desc = ""
+                for cls in classes:
+                    method, certain = index.resolve_method(cls, site.method)
+                    if method is None:
+                        if not certain:
+                            uncertain = True
+                        continue
+                    missing_everywhere = False
+                    if site.n_args < 0:     # *args at the send site
+                        arity_ok_somewhere = True
+                        continue
+                    hi = "∞" if method.max_pos is None else method.max_pos
+                    sig_desc = (f"{cls.name}.{site.method} takes "
+                                f"{method.min_pos}..{hi} positional args")
+                    if method.min_pos <= site.n_args and (
+                            method.max_pos is None
+                            or site.n_args <= method.max_pos):
+                        arity_ok_somewhere = True
+                if uncertain:
+                    continue
+                if missing_everywhere:
+                    names = ", ".join(sorted({c.name for c in classes}))
+                    findings.append(self.finding(
+                        site.path, site.line,
+                        f"message {site.kind!r} targets "
+                        f"{type_name}.{site.method}() but {names} defines "
+                        f"no such method"))
+                elif not arity_ok_somewhere:
+                    findings.append(self.finding(
+                        site.path, site.line,
+                        f"message {site.kind!r} passes {site.n_args} "
+                        f"positional arg(s) but {sig_desc}"))
+        return findings
+
+
+@_register
+class CallCycleRule(FlowRule):
+    name = FLOW_CALL_CYCLE
+    description = ("synchronous Call cycle through a non-reentrant actor "
+                   "(turn-based deadlock)")
+    rationale = ("A Call holds the caller's turn open; a non-reentrant "
+                 "callee parks new invocations while a turn is open, so a "
+                 "Call cycle through it can never complete (only time out). "
+                 "Tell edges are excluded: they do not hold the turn.")
+
+    def check(self, index: ProjectIndex,
+              graph: InteractionGraph) -> List[Finding]:
+        findings: List[Finding] = []
+        for cycle in graph.call_cycles():
+            culprits = []
+            for type_name in cycle:
+                for cls in index.classes_for_type(type_name):
+                    if not cls.reentrant:
+                        culprits.append((type_name, cls))
+            if not culprits:
+                continue            # all-reentrant cycle: safe by design
+            loop = " -> ".join(cycle + [cycle[0]])
+            for type_name, cls in sorted(culprits,
+                                         key=lambda c: (c[1].path,
+                                                        c[1].lineno)):
+                findings.append(self.finding(
+                    cls.path, cls.lineno,
+                    f"synchronous Call cycle [{loop}] includes "
+                    f"non-reentrant actor {cls.name} (type "
+                    f"{type_name!r}): a Call arriving while its turn is "
+                    f"open is parked forever — turn-based deadlock"))
+        return findings
+
+
+@_register
+class RetryNonIdempotentRule(FlowRule):
+    name = FLOW_RETRY_NONIDEMPOTENT
+    description = ("retryable client call reaches a non-idempotent state "
+                   "mutation without an idempotency marker")
+    rationale = ("With a retrying ResilienceConfig, a timed-out request is "
+                 "re-sent; if the first attempt already mutated state, the "
+                 "replay double-applies it.  Either mark the method "
+                 "@idempotent (replay converges) or send the request with "
+                 "idempotent=False so the retry layer never replays it.")
+
+    def check(self, index: ProjectIndex,
+              graph: InteractionGraph) -> List[Finding]:
+        if not self._retry_armed(index):
+            return []
+        findings: List[Finding] = []
+        for site in graph.client_sites():
+            if site.idempotent_kwarg is False or site.method is None:
+                continue
+            hit = self._first_unsafe(index, graph, site)
+            if hit is None:
+                continue
+            cls, mutation, chain = hit
+            findings.append(self.finding(
+                site.path, site.line,
+                f"retryable client call to {site.method!r} reaches "
+                f"non-idempotent mutation in {cls.name} "
+                f"({mutation.desc} at {cls.path}:{mutation.line}) via "
+                f"{' -> '.join(chain)}; mark the method @idempotent or "
+                f"pass idempotent=False"))
+        return findings
+
+    @staticmethod
+    def _retry_armed(index: ProjectIndex) -> bool:
+        """Only meaningful when the tree constructs a retry policy."""
+        for path in sorted(index.modules):
+            mod = index.modules[path]
+            for node in ast.walk(mod.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                chain = _attr_chain(node.func)
+                if chain is None:
+                    continue
+                last = chain.split(".")[-1]
+                if last == "RetryPolicy":
+                    return True
+                if last == "ResilienceConfig":
+                    for kw in node.keywords:
+                        if kw.arg == "retry" and not (
+                                isinstance(kw.value, ast.Constant)
+                                and kw.value.value is None):
+                            return True
+        return False
+
+    def _first_unsafe(self, index: ProjectIndex, graph: InteractionGraph,
+                      site) -> Optional[tuple]:
+        for start_type in sorted(site.target_types):
+            reached = graph.reachable_methods(start_type, site.method)
+            for type_name, method_name, chain in reached:
+                for cls in index.classes_for_type(type_name):
+                    method = cls.methods.get(method_name)
+                    if method is None or method.idempotent:
+                        continue
+                    if method.mutations:
+                        return cls, method.mutations[0], chain
+        return None
+
+
+@_register
+class BlockingTransitiveRule(FlowRule):
+    name = FLOW_BLOCKING_TRANSITIVE
+    description = ("actor method reaches blocking I/O through helper calls "
+                   "(transitive ACT-BLOCKING-IO)")
+    rationale = ("ACT-BLOCKING-IO only sees blocking primitives called "
+                 "directly inside the actor; a helper wrapping time.sleep "
+                 "stalls the silo's single-threaded stage all the same.")
+
+    def check(self, index: ProjectIndex,
+              graph: InteractionGraph) -> List[Finding]:
+        closure = index.blocking_closure()
+        findings: List[Finding] = []
+        for cls in index.actor_classes():
+            for mname in sorted(cls.methods):
+                qual = f"{cls.module}.{cls.name}.{mname}"
+                entry = index.functions.get(qual)
+                if entry is None:
+                    continue
+                for line, callee in entry.calls:
+                    chain = closure.get(callee)
+                    if chain is None:
+                        continue
+                    hops = [q.split(".")[-1] for q in chain[:-1]]
+                    findings.append(self.finding(
+                        cls.path, line,
+                        f"actor method {cls.name}.{mname} reaches blocking "
+                        f"call {chain[-1]}() via "
+                        f"{' -> '.join(hops)}: blocks the silo's "
+                        f"single-threaded stage for the whole turn"))
+        return findings
+
+
+#: Value shapes `repro.actor.serialization` cannot migrate: exhaustible
+#: or process-local objects that have no byte representation.
+_UNSAFE_FACTORY_CALLS = frozenset({
+    "open", "iter", "map", "filter", "zip", "enumerate", "reversed",
+})
+_UNSAFE_FACTORY_PREFIXES = ("threading.", "socket.", "subprocess.",
+                            "multiprocessing.")
+
+
+@_register
+class MigrationUnsafeRule(FlowRule):
+    name = FLOW_MIGRATION_UNSAFE
+    description = ("actor state field assigned a value that cannot migrate "
+                   "(generator, file handle, lambda, live iterator, OS "
+                   "handle, or bound method)")
+    rationale = ("capture_state() snapshots the actor's __dict__ for "
+                 "migration; generators, open files, lambdas, and OS "
+                 "handles are process-local and break the moment the "
+                 "activation lands on another silo.")
+
+    def check(self, index: ProjectIndex,
+              graph: InteractionGraph) -> List[Finding]:
+        findings: List[Finding] = []
+        for cls in index.actor_classes():
+            mod = index.modules.get(cls.path)
+            for mname in sorted(cls.methods):
+                method = cls.methods[mname]
+                for write in method.field_writes:
+                    desc = self._unsafe_desc(write.value, cls, mod)
+                    if desc is None:
+                        continue
+                    findings.append(self.finding(
+                        cls.path, write.line,
+                        f"actor state field self.{write.field_name} is "
+                        f"assigned {desc}; capture_state() cannot migrate "
+                        f"it to another silo"))
+        return findings
+
+    @staticmethod
+    def _unsafe_desc(value: ast.expr, cls, mod) -> Optional[str]:
+        if isinstance(value, ast.GeneratorExp):
+            return "a generator expression (exhaustible, process-local)"
+        if isinstance(value, ast.Lambda):
+            return "a lambda (closures do not serialize)"
+        if isinstance(value, ast.Call):
+            chain = _attr_chain(value.func)
+            if chain is None:
+                return None
+            resolved = mod.imports.resolve(value.func) if mod else chain
+            resolved = resolved or chain
+            if resolved in _UNSAFE_FACTORY_CALLS:
+                return f"the result of {resolved}() (live handle/iterator)"
+            if resolved.startswith(_UNSAFE_FACTORY_PREFIXES):
+                return f"the result of {resolved}() (process-local OS object)"
+        if isinstance(value, ast.Attribute) and cls is not None:
+            chain = _attr_chain(value)
+            if (chain and chain.startswith("self.")
+                    and chain.count(".") == 1
+                    and chain.split(".")[1] in cls.methods):
+                return (f"the bound method {chain} (captures the live "
+                        f"instance)")
+        return None
+
+
+def run_flow_rules(index: ProjectIndex,
+                   graph: InteractionGraph) -> List[Finding]:
+    """Run every FLOW rule; deterministic (path, line, rule) order."""
+    findings: List[Finding] = []
+    for rule_cls in all_flow_rules():
+        findings.extend(rule_cls().check(index, graph))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return findings

@@ -4,6 +4,16 @@ The contract matching the other ``repro`` subcommands: the run *fails*
 (non-zero exit) iff any unwaived finding exists; waived findings are
 still listed (with their justification) so the report is an audit trail
 of every exemption in the tree.
+
+Two passes share the report.  The per-file pass runs every registered
+:class:`~repro.analysis.framework.Rule` on one module at a time (and is
+the part the ``--cache`` result cache can skip).  The opt-in flow pass
+(``flow=True``) builds the project-wide index + interaction graph from
+:mod:`repro.analysis.flow` over the *same* file set and merges the
+interprocedural FLOW findings in; waivers apply to them identically.
+
+Findings are deduplicated per (path, line, rule) and reported in
+deterministic (path, line, rule) order regardless of traversal order.
 """
 
 from __future__ import annotations
@@ -11,13 +21,14 @@ from __future__ import annotations
 import ast
 import os
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
-from .findings import Finding, Severity, parse_waivers
+from .findings import Finding, Severity, Waiver, parse_waivers
 from .framework import LintContext, all_rules
 from .rules import WAIVER_JUSTIFY  # noqa: F401  (import registers the rules)
 
-__all__ = ["LintReport", "lint_source", "lint_file", "lint_paths", "DEFAULT_ROOTS"]
+__all__ = ["LintReport", "lint_source", "lint_file", "lint_paths",
+           "waiver_audit", "DEFAULT_ROOTS"]
 
 #: The tree the repo-wide pass covers.  ``tests/`` is deliberately out:
 #: tests exercise deprecated shims and nondeterminism on purpose.
@@ -33,6 +44,10 @@ class LintReport:
     findings: list[Finding] = field(default_factory=list)
     files_checked: int = 0
     parse_errors: list[Finding] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: The InteractionGraph when the flow pass ran (lint_paths(flow=True)).
+    flow_graph: Optional[object] = None
 
     @property
     def active(self) -> list[Finding]:
@@ -50,6 +65,14 @@ class LintReport:
         self.findings.extend(other.findings)
         self.parse_errors.extend(other.parse_errors)
         self.files_checked += other.files_checked
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+
+    def finalize(self) -> "LintReport":
+        """Deterministic order + per-(path, line, rule) dedup."""
+        self.findings = _dedupe(self.findings)
+        self.parse_errors = _dedupe(self.parse_errors)
+        return self
 
     def to_dict(self) -> dict:
         return {
@@ -62,6 +85,51 @@ class LintReport:
                 "waived": len(self.waived),
             },
         }
+
+
+def _dedupe(findings: List[Finding]) -> List[Finding]:
+    """Sort by (path, line, rule) and keep one finding per key.
+
+    The sort key includes the message so the survivor of a duplicate
+    key is deterministic, not traversal-dependent."""
+    ordered = sorted(findings,
+                     key=lambda f: (f.path, f.line, f.rule, f.message))
+    out: List[Finding] = []
+    last = None
+    for finding in ordered:
+        key = (finding.path, finding.line, finding.rule)
+        if key != last:
+            out.append(finding)
+            last = key
+    return out
+
+
+def _apply_waivers(findings: Iterable[Finding],
+                   waivers: List[Waiver]) -> List[Finding]:
+    out: List[Finding] = []
+    for finding in findings:
+        waiver = next(
+            (
+                w for w in waivers
+                if w.covers == finding.line
+                and w.matches(finding.rule)
+                and w.justification
+            ),
+            None,
+        )
+        if waiver is not None and finding.rule != WAIVER_JUSTIFY:
+            waiver.used = True
+            finding = Finding(
+                rule=finding.rule,
+                severity=finding.severity,
+                path=finding.path,
+                line=finding.line,
+                message=finding.message,
+                waived=True,
+                justification=waiver.justification,
+            )
+        out.append(finding)
+    return out
 
 
 def lint_source(source: str, path: str = "<string>",
@@ -91,31 +159,8 @@ def lint_source(source: str, path: str = "<string>",
             continue
         raw.extend(rule_cls(ctx).run())
 
-    waivers = parse_waivers(source)
-    for finding in raw:
-        waiver = next(
-            (
-                w for w in waivers
-                if w.covers == finding.line
-                and w.matches(finding.rule)
-                and w.justification
-            ),
-            None,
-        )
-        if waiver is not None and finding.rule != WAIVER_JUSTIFY:
-            waiver.used = True
-            finding = Finding(
-                rule=finding.rule,
-                severity=finding.severity,
-                path=finding.path,
-                line=finding.line,
-                message=finding.message,
-                waived=True,
-                justification=waiver.justification,
-            )
-        report.findings.append(finding)
-    report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
-    return report
+    report.findings = _apply_waivers(raw, parse_waivers(source))
+    return report.finalize()
 
 
 def lint_file(path: str, rel: Optional[str] = None,
@@ -136,17 +181,117 @@ def _iter_python_files(root: str) -> Iterable[str]:
                 yield os.path.join(dirpath, name)
 
 
-def lint_paths(paths: Sequence[str] = DEFAULT_ROOTS, base: str = ".",
-               rules: Optional[Iterable[str]] = None) -> LintReport:
-    """Lint every ``.py`` file under each of ``paths`` (files or dirs),
-    resolved against ``base``; findings report base-relative paths."""
-    report = LintReport()
+def _collect_files(paths: Sequence[str],
+                   base: str) -> List[Tuple[str, str]]:
+    """Deduplicated ``(abspath, relpath)`` pairs, deterministic order."""
+    out: List[Tuple[str, str]] = []
+    seen: set = set()
     for path in paths:
         root = path if os.path.isabs(path) else os.path.join(base, path)
         if not os.path.exists(root):
             continue
         for file_path in _iter_python_files(root):
             rel = os.path.relpath(file_path, base)
-            report.extend(lint_file(file_path, rel=rel, rules=rules))
-    report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
-    return report
+            if rel not in seen:
+                seen.add(rel)
+                out.append((file_path, rel))
+    return out
+
+
+def _ruleset_signature(rules: Optional[Iterable[str]]) -> str:
+    import hashlib
+
+    names = sorted(r.name for r in all_rules())
+    selected = sorted(rules) if rules is not None else ["*"]
+    try:
+        from .. import __version__ as version
+    except ImportError:                      # pragma: no cover
+        version = "0"
+    blob = "\n".join(["v1", version, *names, "--", *selected])
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+def lint_paths(paths: Sequence[str] = DEFAULT_ROOTS, base: str = ".",
+               rules: Optional[Iterable[str]] = None,
+               flow: bool = False,
+               cache_dir: Optional[str] = None) -> LintReport:
+    """Lint every ``.py`` file under each of ``paths`` (files or dirs),
+    resolved against ``base``; findings report base-relative paths.
+
+    ``flow=True`` additionally builds the project-wide index over the
+    same file set and merges the interprocedural FLOW findings.
+    ``cache_dir`` enables the per-file result cache (flow findings are
+    never cached: any file can change another file's flow findings).
+    """
+    report = LintReport()
+    cache = None
+    if cache_dir is not None:
+        from .cache import LintCache
+        cache = LintCache(cache_dir, _ruleset_signature(rules))
+
+    files = _collect_files(paths, base)
+    sources: List[Tuple[str, str]] = []      # (relpath, source) for flow
+    for file_path, rel in files:
+        with open(file_path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        sources.append((rel, source))
+        cached = cache.get(rel, file_path, source) if cache else None
+        if cached is not None:
+            findings, parse_errors = cached
+            report.findings.extend(findings)
+            report.parse_errors.extend(parse_errors)
+            report.files_checked += 1
+        else:
+            sub = lint_source(source, rel, rules=rules)
+            if cache is not None:
+                cache.put(rel, file_path, source,
+                          sub.findings, sub.parse_errors)
+            report.extend(sub)
+    if cache is not None:
+        report.cache_hits = cache.hits
+        report.cache_misses = cache.misses
+
+    if flow:
+        from .flow import analyze_files
+
+        selected = set(rules) if rules is not None else None
+        _index, graph, flow_findings = analyze_files(sources)
+        report.flow_graph = graph
+        waiver_map = {rel: parse_waivers(src) for rel, src in sources}
+        merged: List[Finding] = []
+        for finding in flow_findings:
+            if finding.rule == "PARSE-ERROR":
+                continue              # the per-file pass reported it
+            if selected is not None and finding.rule not in selected:
+                continue
+            merged.extend(_apply_waivers(
+                [finding], waiver_map.get(finding.path, [])))
+        report.findings.extend(merged)
+
+    return report.finalize()
+
+
+def waiver_audit(paths: Sequence[str] = DEFAULT_ROOTS,
+                 base: str = ".") -> dict:
+    """Every active ``# repro: waive[...]`` in the tree, as an audit
+    document: file, line, covered line, rules, justification."""
+    entries = []
+    for file_path, rel in _collect_files(paths, base):
+        with open(file_path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        for waiver in parse_waivers(source):
+            entries.append({
+                "path": rel,
+                "line": waiver.line,
+                "covers": waiver.covers,
+                "rules": sorted(waiver.rules),
+                "justification": waiver.justification,
+                "justified": bool(waiver.justification),
+            })
+    entries.sort(key=lambda e: (e["path"], e["line"]))
+    return {
+        "schema": 1,
+        "count": len(entries),
+        "unjustified": sum(1 for e in entries if not e["justified"]),
+        "waivers": entries,
+    }

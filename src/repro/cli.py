@@ -220,11 +220,30 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--sanitize", action="store_true",
                       help="also run a Halo slice with the runtime race "
                            "sanitizer armed and a salted-hash order probe")
+    lint.add_argument("--flow", action="store_true",
+                      help="also run the interprocedural message-flow pass "
+                           "(static actor interaction graph + FLOW rules)")
+    lint.add_argument("--flow-graph", metavar="PATH", default=None,
+                      help="write the static actor interaction graph "
+                           "(comm_graph edge format JSON) here; implies "
+                           "--flow")
+    lint.add_argument("--graph-check", metavar="PATH", default=None,
+                      help="drive a seeded Halo slice and verify every "
+                           "observed comm edge exists in the static graph "
+                           "(static ⊇ dynamic); write the diff JSON here; "
+                           "implies --flow")
+    lint.add_argument("--waivers", action="store_true",
+                      help="report every active '# repro: waive[...]' "
+                           "(file, rules, justification) and exit")
+    lint.add_argument("--cache", action="store_true",
+                      help="cache per-file results under .repro-lint-cache/ "
+                           "keyed by mtime+hash (flow findings are never "
+                           "cached)")
     lint.add_argument("--requests", type=int, default=2_000,
-                      help="sanitizer: client requests to drive through "
-                           "the Halo slice")
+                      help="sanitizer/graph-check: client requests to drive "
+                           "through the Halo slice")
     lint.add_argument("--seed", type=int, default=5,
-                      help="sanitizer: cluster seed")
+                      help="sanitizer/graph-check: cluster seed")
     lint.add_argument("--json", dest="json_path", metavar="PATH",
                       help="write the JSON report here ('-' for stdout)")
 
@@ -660,24 +679,49 @@ def _run_lint(args: argparse.Namespace) -> int:
     import json
 
     from .analysis import DEFAULT_ROOTS, all_rules, lint_paths
+    from .analysis.flow import all_flow_rules
 
     if args.list_rules:
+        rows = [[r.name, str(r.severity), r.description]
+                for r in all_rules()]
+        rows += [[r.name, str(r.severity), f"[flow] {r.description}"]
+                 for r in all_flow_rules()]
         print(render_table(
-            ["rule", "severity", "description"],
-            [[r.name, str(r.severity), r.description] for r in all_rules()],
-            title=f"{len(tuple(all_rules()))} registered lint rules",
+            ["rule", "severity", "description"], rows,
+            title=f"{len(rows)} registered lint rules "
+                  f"({len(tuple(all_flow_rules()))} flow)",
         ))
         return 0
 
-    report = lint_paths(args.paths or DEFAULT_ROOTS, rules=args.rules)
+    if args.waivers:
+        return _run_waiver_audit(args)
+
+    flow = args.flow or args.flow_graph is not None \
+        or args.graph_check is not None
+    cache_dir = ".repro-lint-cache" if args.cache else None
+    report = lint_paths(args.paths or DEFAULT_ROOTS, rules=args.rules,
+                        flow=flow, cache_dir=cache_dir)
     doc: dict = {"schema": 1, "lint": report.to_dict()}
     ok = report.ok
+
+    graph = report.flow_graph
+    if graph is not None:
+        doc["flow_graph"] = graph.to_dict()
 
     san_report = None
     if args.sanitize:
         san_report = _sanitizer_slice(args.requests, args.seed)
         doc["sanitizer"] = san_report
         ok = ok and san_report["ok"]
+
+    check_report = None
+    if args.graph_check is not None and graph is not None:
+        from .analysis.flow import crosscheck_halo
+
+        check_report = crosscheck_halo(graph, requests=args.requests,
+                                       seed=args.seed)
+        doc["graph_check"] = check_report
+        ok = ok and check_report["ok"]
     doc["ok"] = ok
 
     out = sys.stderr if args.json_path == "-" else sys.stdout
@@ -685,12 +729,36 @@ def _run_lint(args: argparse.Namespace) -> int:
             for f in report.active]
     rows += [[f"{f.rule} (waived)", f"{f.path}:{f.line}",
               f.justification or ""] for f in report.waived]
+    cache_note = (f", cache {report.cache_hits} hit/"
+                  f"{report.cache_misses} miss" if args.cache else "")
     print(render_table(
         ["rule", "location", "detail"],
         rows or [["-", "-", "no findings"]],
         title=f"repro lint — {report.files_checked} files, "
-              f"{len(report.active)} active, {len(report.waived)} waived",
+              f"{len(report.active)} active, {len(report.waived)} waived"
+              f"{cache_note}",
     ), file=out)
+    if graph is not None:
+        edges = graph.type_edge_weights()
+        print(f"\nflow: {len(graph.actor_edges())} actor-edge site(s), "
+              f"{len(edges)} type edge(s), "
+              f"{len(graph.client_sites())} client entry point(s)",
+              file=out)
+        if args.flow_graph is not None:
+            with open(args.flow_graph, "w") as fh:
+                json.dump(graph.to_dict(), fh, indent=2)
+                fh.write("\n")
+            print(f"static interaction graph written to {args.flow_graph}",
+                  file=out)
+    if check_report is not None:
+        from .analysis.flow import format_crosscheck
+
+        for line in format_crosscheck(check_report):
+            print(line, file=out)
+        with open(args.graph_check, "w") as fh:
+            json.dump(check_report, fh, indent=2)
+            fh.write("\n")
+        print(f"graph-check diff written to {args.graph_check}", file=out)
     if san_report is not None:
         print(f"\nsanitizer: {san_report['requests_completed']} requests, "
               f"{san_report['events_seen']} events, "
@@ -713,9 +781,37 @@ def _run_lint(args: argparse.Namespace) -> int:
         print(f"JSON report written to {args.json_path}", file=out)
 
     if not ok:
-        print("lint failed: unwaived findings or sanitizer conflicts "
-              "(see report above)", file=sys.stderr)
+        print("lint failed: unwaived findings, sanitizer conflicts, or "
+              "graph-check divergence (see report above)", file=sys.stderr)
         return 1
+    return 0
+
+
+def _run_waiver_audit(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis import DEFAULT_ROOTS
+    from .analysis.linter import waiver_audit
+
+    audit = waiver_audit(args.paths or DEFAULT_ROOTS)
+    doc = {"schema": 1, "waiver_audit": audit}
+    out = sys.stderr if args.json_path == "-" else sys.stdout
+    rows = [[",".join(w["rules"]), f"{w['path']}:{w['line']}",
+             w["justification"] or "(MISSING JUSTIFICATION)"]
+            for w in audit["waivers"]]
+    print(render_table(
+        ["rules", "location", "justification"],
+        rows or [["-", "-", "no waivers in tree"]],
+        title=f"waiver audit — {audit['count']} active waiver(s), "
+              f"{audit['unjustified']} unjustified",
+    ), file=out)
+    if args.json_path == "-":
+        print(json.dumps(doc, indent=2))
+    elif args.json_path:
+        with open(args.json_path, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"JSON report written to {args.json_path}", file=out)
     return 0
 
 

@@ -85,4 +85,8 @@ class CounterWorkload:
             1,
             size=self.config.request_size,
             response_size=self.config.response_size,
+            # An increment is NOT replay-safe: a retried request would
+            # double-count.  Declaring it keeps idempotent-only retry
+            # policies from ever replaying one (FLOW-RETRY-NONIDEMPOTENT).
+            idempotent=False,
         )

@@ -33,7 +33,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Optional
 
-from ..actor.actor import Actor
+from ..actor.actor import Actor, idempotent
 from ..actor.calls import All, Call
 from ..actor.ids import ActorRef
 from ..actor.runtime import ActorRuntime
@@ -64,8 +64,13 @@ class PlayerActor(Actor):
         self.game = None
         return True
 
+    @idempotent
     def update(self, payload: object) -> int:
-        """Receive one broadcast event from the game."""
+        """Receive one broadcast event from the game.
+
+        Safe to replay: ``updates_seen`` is a liveness diagnostic, never
+        read back as an exact count, so a retried broadcast converges.
+        """
         self.updates_seen += 1
         return 1
 

@@ -1,0 +1,101 @@
+"""Deliberate FLOW violations — exactly one per flow rule.
+
+Never imported by anything: ``tests/integration/test_flow_repo.py``
+runs the flow pass over this file and asserts that exactly the five
+FLOW rules fire (one finding each).  The ``fixtures`` directory is
+excluded from the default lint roots, so the repo-wide pass stays
+clean.
+
+Like ``lint_violations.py``, the ``Actor``/``ActorRef``/``Call``/
+``RetryPolicy`` stand-ins keep the file self-contained: the flow
+analysis resolves names within its project index, so in-file stand-ins
+behave like the real substrate.
+"""
+
+import time
+
+
+class Actor:
+    """Stand-in base so the flow index sees actor classes."""
+
+
+class ActorRef:
+    """Stand-in reference type (the evaluator matches the name)."""
+
+    def __init__(self, actor_type, key):
+        self.actor_type = actor_type
+        self.key = key
+
+
+class Call:
+    def __init__(self, target, method, *args, **kwargs):
+        self.target, self.method, self.args = target, method, args
+
+
+class RetryPolicy:
+    """Stand-in retry policy; constructing one arms the retry rule."""
+
+
+RETRY = RetryPolicy()
+
+
+def wire(runtime):
+    runtime.register_actor("ping", PingActor)
+    runtime.register_actor("pong", PongActor)
+    runtime.register_actor("ledger", LedgerActor)
+    runtime.register_actor("logger", LoggerActor)
+
+
+class PingActor(Actor):
+    """Half of a two-class synchronous Call cycle."""
+
+    def ping(self, n):
+        ack = yield Call(ActorRef("pong", 0), "pong", n)
+        return ack
+
+    def poke(self):
+        # FLOW-UNKNOWN-METHOD: PongActor defines no method 'pongg'.
+        yield Call(ActorRef("pong", 0), "pongg", 1)
+
+
+class PongActor(Actor):
+    """FLOW-CALL-CYCLE: non-reentrant participant of ping <-> pong."""
+
+    REENTRANT = False
+
+    def pong(self, n):
+        ack = yield Call(ActorRef("ping", 0), "ping", n)
+        return ack
+
+
+class LedgerActor(Actor):
+    """Append-only ledger: replaying an append double-applies it."""
+
+    def __init__(self):
+        super().__init__()
+        self.entries = []
+
+    def append_entry(self, entry):
+        self.entries.append(entry)
+        return len(self.entries)
+
+
+class LoggerActor(Actor):
+    def __init__(self):
+        super().__init__()
+        # FLOW-MIGRATION-UNSAFE: a generator cannot leave the process.
+        self.pending = (line for line in [])
+
+    def save(self, line):
+        flush_to_disk()  # FLOW-BLOCKING-TRANSITIVE: helper wraps sleep
+        return True
+
+
+def flush_to_disk():
+    time.sleep(0.005)
+
+
+def drive(runtime):
+    # FLOW-RETRY-NONIDEMPOTENT: retry policy armed above, append_entry
+    # mutates, and the request is not declared idempotent=False.
+    runtime.client_request(ActorRef("ledger", 1), "append_entry", "evt")

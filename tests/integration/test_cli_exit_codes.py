@@ -1,0 +1,61 @@
+"""The CLI exit-code contract, parameterized across subcommands:
+0 = success, 1 = the run completed but found problems (lint findings,
+unrecovered chaos run, empty trace window), 2 = argparse rejected the
+invocation.  Scripts and CI gate on exactly these codes."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+CASES = [
+    # ---- success -> 0
+    ("perf-ok",
+     ["perf", "--smoke", "--only", "histogram", "--repeat", "1"], 0),
+    ("trace-ok",
+     ["trace", "--workload", "halo", "--players", "60", "--servers", "2",
+      "--warmup", "1", "--duration", "2"], 0),
+    ("faults-ok",          # the CI chaos plan, deterministic under seed 1
+     ["faults", "--players", "300", "--servers", "4", "--warmup", "10",
+      "--duration", "10", "--settle", "5", "--kill", "1@2",
+      "--recover", "1@8", "--retries", "3", "--timeout", "0.5"], 0),
+    ("lint-ok", ["lint", "src/repro/analysis/findings.py"], 0),
+    # ---- completed-with-findings -> 1
+    ("trace-empty-window",  # no traced request completes in 10ms
+     ["trace", "--workload", "halo", "--players", "60", "--servers", "2",
+      "--warmup", "0", "--duration", "0.01"], 1),
+    ("faults-no-recovery",  # window too short to re-converge (seeded)
+     ["faults", "--players", "100", "--servers", "2", "--warmup", "3",
+      "--duration", "3", "--settle", "1", "--kill", "1@1",
+      "--recover", "1@2", "--retries", "3", "--timeout", "0.5"], 1),
+    ("lint-findings",
+     ["lint", os.path.join("tests", "fixtures", "lint_violations.py")], 1),
+    ("lint-flow-findings",
+     ["lint", "--flow",
+      os.path.join("tests", "fixtures", "flow_violations.py")], 1),
+    # ---- argparse rejection -> 2
+    ("perf-bad-choice", ["perf", "--only", "nonesuch"], 2),
+    ("trace-bad-choice", ["trace", "--workload", "nonesuch"], 2),
+    ("faults-bad-spec", ["faults", "--kill", "notaspec"], 2),
+    ("lint-bad-flag", ["lint", "--bogus"], 2),
+]
+
+
+@pytest.mark.parametrize("argv,expected",
+                         [c[1:] for c in CASES],
+                         ids=[c[0] for c in CASES])
+def test_cli_exit_code(argv, expected, tmp_path):
+    if argv[0] == "trace":
+        argv = argv + ["--chrome", str(tmp_path / "chrome.json")]
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True, text=True, cwd=REPO, env=env,
+    )
+    assert proc.returncode == expected, (proc.stdout, proc.stderr)
+    if expected == 2:
+        assert "usage:" in proc.stderr

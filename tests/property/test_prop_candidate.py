@@ -53,7 +53,12 @@ def test_candidate_set_is_exact_top_k_positive(view_and_servers, k):
                 scored.append((s, str(v)))
         expected = heapq.nlargest(k, scored)
         got = [(c.score, str(c.vertex)) for c in cands]
-        assert sorted(got, reverse=True) == sorted(expected, reverse=True)
+        # Tie scores make the specific vertex choice implementation-
+        # defined: require the same score multiset and that every pick
+        # is a genuinely scored vertex (i.e. *a* valid exact top-k).
+        assert sorted((s for s, _ in got), reverse=True) == \
+            sorted((s for s, _ in expected), reverse=True)
+        assert set(got) <= set(scored)
         # scores strictly positive and sorted descending
         assert all(c.score > 0 for c in cands)
         assert [c.score for c in cands] == sorted(

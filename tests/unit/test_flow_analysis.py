@@ -1,0 +1,403 @@
+"""Unit tests for the interprocedural flow pass: the project index,
+ActorRef provenance, the interaction graph fixpoint, and each FLOW
+rule's fire/stay-silent contract on minimal synthetic modules."""
+
+import textwrap
+
+from repro.analysis.flow import (
+    all_flow_rules,
+    analyze_files,
+    build_graph,
+    build_index,
+)
+from repro.analysis.flow.rules import (
+    FLOW_BLOCKING_TRANSITIVE,
+    FLOW_CALL_CYCLE,
+    FLOW_MIGRATION_UNSAFE,
+    FLOW_RETRY_NONIDEMPOTENT,
+    FLOW_UNKNOWN_METHOD,
+)
+
+#: Stand-ins every snippet shares: the index keys off the names, so
+#: in-file definitions behave like the real substrate.
+PRELUDE = '''
+class Actor:
+    pass
+
+
+class ActorRef:
+    def __init__(self, actor_type, key):
+        self.actor_type = actor_type
+        self.key = key
+'''
+
+
+def _files(source, path="mod.py"):
+    return [(path, PRELUDE + textwrap.dedent(source))]
+
+
+def _analyze(source, path="mod.py"):
+    return analyze_files(_files(source, path))
+
+
+def _rules_fired(findings):
+    return {f.rule for f in findings}
+
+
+# ---------------------------------------------------------------- index
+
+
+def test_registrations_resolve_class_constants_and_direct_names():
+    index = build_index(_files('''
+        class PingActor(Actor):
+            TYPE = "ping"
+            def ping(self, n):
+                return n
+
+        class EchoActor(Actor):
+            def echo(self):
+                return 1
+
+        def wire(runtime):
+            runtime.register_actor(PingActor.TYPE, PingActor)
+            runtime.register_actor("echo", EchoActor)
+    '''))
+    assert [c.name for c in index.classes_for_type("ping")] == ["PingActor"]
+    assert [c.name for c in index.classes_for_type("echo")] == ["EchoActor"]
+
+
+def test_registration_through_local_conditional_binding():
+    # The heartbeat workload registers `cls = A if flag else B`; both
+    # candidates must be associated with the type.
+    index = build_index(_files('''
+        class FastActor(Actor):
+            def tick(self):
+                return 1
+
+        class SlowActor(Actor):
+            def tick(self):
+                return 2
+
+        def wire(runtime, slow):
+            cls = SlowActor if slow else FastActor
+            runtime.register_actor("ticker", cls)
+    '''))
+    names = {c.name for c in index.classes_for_type("ticker")}
+    assert names == {"FastActor", "SlowActor"}
+
+
+def test_resolve_method_walks_base_classes():
+    index = build_index(_files('''
+        class BaseActor(Actor):
+            def shared(self, a, b):
+                return a + b
+
+        class ChildActor(BaseActor):
+            def own(self):
+                return 0
+    '''))
+    (cls,) = [c for c in index.actor_classes() if c.name == "ChildActor"]
+    method, certain = index.resolve_method(cls, "shared")
+    assert certain and method is not None and method.min_pos == 2
+    missing, certain = index.resolve_method(cls, "nonesuch")
+    assert missing is None and certain
+
+
+def test_blocking_closure_is_transitive():
+    index = build_index(_files('''
+        import time
+
+        def inner():
+            time.sleep(0.1)
+
+        def outer():
+            inner()
+
+        def clean():
+            return 1
+    '''))
+    closure = index.blocking_closure()
+    assert closure["mod.inner"][-1] == "time.sleep"
+    assert closure["mod.outer"][-1] == "time.sleep"
+    assert "mod.clean" not in closure
+
+
+# ----------------------------------------------- provenance + the graph
+
+
+def test_ref_provenance_through_params_fields_and_loops():
+    # A ref enters via client_request arg, lands in a field through
+    # .append, and is used from a loop in another method: the edge only
+    # exists if the interprocedural fixpoint threads all three hops.
+    _, graph, findings = _analyze('''
+        class GameActor(Actor):
+            def __init__(self):
+                self.players = []
+
+            def admit(self, ref):
+                self.players.append(ref)
+
+            def start(self):
+                for p in self.players:
+                    yield Call(p, "join", 1)
+
+        class PlayerActor(Actor):
+            def join(self, n):
+                return n
+
+        def wire(runtime):
+            runtime.register_actor("game", GameActor)
+            runtime.register_actor("player", PlayerActor)
+
+        def drive(runtime):
+            runtime.client_request(ActorRef("game", 0), "admit",
+                                   ActorRef("player", 1), idempotent=False)
+    ''')
+    edges = {(e.caller_type, e.caller_method, e.target_type,
+              e.target_method, e.kind) for e in graph.actor_edges()}
+    assert ("game", "start", "player", "join", "call") in edges
+    assert ("game", "player") in graph.type_edge_weights()
+    assert not _rules_fired(findings)
+
+
+def test_comprehension_targets_do_not_leak_into_outer_scope():
+    # The comprehension target reuses the name `r`; its binding must
+    # not pollute the outer `r` (a game ref), or the join() site would
+    # look like it also targets 'room' and fire FLOW-UNKNOWN-METHOD.
+    _, graph, findings = _analyze('''
+        class GameActor(Actor):
+            def join(self, n):
+                return n
+
+        class RoomActor(Actor):
+            def topic(self):
+                return "t"
+
+        def wire(runtime):
+            runtime.register_actor("game", GameActor)
+            runtime.register_actor("room", RoomActor)
+
+        def drive(runtime):
+            r = ActorRef("game", 0)
+            rooms = [ActorRef("room", r2) for r2 in range(3)]
+            names = {r2: "x" for r2 in rooms}
+            yield Call(r, "join", 1)
+    ''')
+    (site,) = [s for s in graph.sites if s.method == "join"]
+    assert site.target_types == frozenset({"game"})
+    assert FLOW_UNKNOWN_METHOD not in _rules_fired(findings)
+
+
+def test_graph_export_matches_comm_graph_edge_format():
+    _, graph, _ = _analyze('''
+        class AActor(Actor):
+            def go(self):
+                yield Call(ActorRef("b", 0), "recv", 1)
+
+        class BActor(Actor):
+            def recv(self, n):
+                return n
+
+        def wire(runtime):
+            runtime.register_actor("a", AActor)
+            runtime.register_actor("b", BActor)
+    ''')
+    doc = graph.to_dict()
+    assert doc["format"] == "comm_graph/edges"
+    assert set(doc["vertices"]) >= {"a", "b"}
+    assert [e[:2] for e in doc["edges"]] == [["a", "b"]]
+    (edge,) = doc["directed_edges"]
+    assert edge["caller"] == "a" and edge["target"] == "b"
+    assert edge["kind"] == "call" and edge["target_method"] == "recv"
+
+
+# ----------------------------------------------------------- the rules
+
+
+def test_unknown_method_fires_on_typo_and_bad_arity():
+    _, _, findings = _analyze('''
+        class TargetActor(Actor):
+            def hit(self, n):
+                return n
+
+        def wire(runtime):
+            runtime.register_actor("target", TargetActor)
+
+        class SourceActor(Actor):
+            def a(self):
+                yield Call(ActorRef("target", 0), "hitt", 1)
+
+            def b(self):
+                yield Call(ActorRef("target", 0), "hit", 1, 2, 3)
+    ''')
+    unknown = [f for f in findings if f.rule == FLOW_UNKNOWN_METHOD]
+    assert len(unknown) == 2
+    assert "no such method" in unknown[0].message
+    assert "positional arg(s)" in unknown[1].message
+
+
+def test_unknown_method_stays_silent_on_unresolvable_targets():
+    _, _, findings = _analyze('''
+        class SourceActor(Actor):
+            def a(self, mystery_ref):
+                yield Call(mystery_ref, "whatever", 1)
+
+            def b(self):
+                yield Call(ActorRef("unregistered", 0), "whatever", 1)
+    ''')
+    assert FLOW_UNKNOWN_METHOD not in _rules_fired(findings)
+
+
+CYCLE = '''
+    class AActor(Actor):
+        {a_flags}
+        def ping(self, n):
+            ack = yield {kind}(ActorRef("b", 0), "pong", n)
+            return ack
+
+    class BActor(Actor):
+        {b_flags}
+        def pong(self, n):
+            ack = yield {kind}(ActorRef("a", 0), "ping", n)
+            return ack
+
+    def wire(runtime):
+        runtime.register_actor("a", AActor)
+        runtime.register_actor("b", BActor)
+'''
+
+
+def _cycle_findings(kind="Call", a_flags="pass", b_flags="pass"):
+    _, _, findings = _analyze(
+        CYCLE.format(kind=kind, a_flags=a_flags, b_flags=b_flags))
+    return [f for f in findings if f.rule == FLOW_CALL_CYCLE]
+
+
+def test_call_cycle_fires_only_with_a_non_reentrant_participant():
+    assert not _cycle_findings()                       # reentrant default
+    fired = _cycle_findings(b_flags="REENTRANT = False")
+    assert len(fired) == 1
+    assert "BActor" in fired[0].message
+    assert "a -> b -> a" in fired[0].message or \
+        "b -> a -> b" in fired[0].message
+
+
+def test_tell_cycle_never_fires():
+    # Tell does not hold the caller's turn open, so a Tell loop is not
+    # a deadlock even through a non-reentrant actor.
+    assert not _cycle_findings(kind="Tell",
+                               a_flags="REENTRANT = False",
+                               b_flags="REENTRANT = False")
+
+
+RETRY = '''
+    {arm}
+
+    class LedgerActor(Actor):
+        def __init__(self):
+            self.entries = []
+
+        {marker}
+        def record(self, entry):
+            self.entries.append(entry)
+
+    def wire(runtime):
+        runtime.register_actor("ledger", LedgerActor)
+
+    def drive(runtime):
+        runtime.client_request(ActorRef("ledger", 0), "record", "e"{kw})
+'''
+
+
+def _retry_findings(arm="POLICY = RetryPolicy()", marker="", kw=""):
+    _, _, findings = _analyze(
+        RETRY.format(arm=arm, marker=marker, kw=kw))
+    return [f for f in findings if f.rule == FLOW_RETRY_NONIDEMPOTENT]
+
+
+def test_retry_rule_fires_on_unmarked_mutating_request():
+    fired = _retry_findings()
+    assert len(fired) == 1
+    assert "record" in fired[0].message
+    assert "idempotent" in fired[0].message
+
+
+def test_retry_rule_is_gated_on_a_retry_policy_existing():
+    assert not _retry_findings(arm="POLICY = None")
+
+
+def test_retry_rule_respects_idempotent_marker_and_kwarg():
+    assert not _retry_findings(marker="@idempotent")
+    assert not _retry_findings(kw=", idempotent=False")
+
+
+def test_blocking_transitive_reports_the_helper_chain():
+    _, _, findings = _analyze('''
+        import time
+
+        def flush():
+            persist()
+
+        def persist():
+            time.sleep(0.01)
+
+        class DiskActor(Actor):
+            def save(self, row):
+                flush()
+                return True
+
+        def wire(runtime):
+            runtime.register_actor("disk", DiskActor)
+    ''')
+    (f,) = [f for f in findings if f.rule == FLOW_BLOCKING_TRANSITIVE]
+    assert "time.sleep" in f.message
+    assert "flush -> persist" in f.message
+
+
+def test_migration_unsafe_fires_on_lambda_and_bound_method():
+    _, _, findings = _analyze('''
+        class StateActor(Actor):
+            def __init__(self):
+                self.cb = lambda x: x
+                self.hook = self.step
+                self.data = {"fine": 1}
+
+            def step(self):
+                return 1
+
+        def wire(runtime):
+            runtime.register_actor("state", StateActor)
+    ''')
+    unsafe = [f for f in findings if f.rule == FLOW_MIGRATION_UNSAFE]
+    assert len(unsafe) == 2
+    assert "lambda" in unsafe[0].message
+    assert "bound method" in unsafe[1].message
+
+
+def test_flow_registry_is_disjoint_from_the_per_file_registry():
+    from repro.analysis import all_rules
+
+    per_file = {r.name for r in all_rules()}
+    flow = {r.name for r in all_flow_rules()}
+    assert len(flow) == 5
+    assert not per_file & flow
+
+
+def test_fixpoint_terminates_and_reports_rounds():
+    index = build_index(_files('''
+        class LoopActor(Actor):
+            def __init__(self):
+                self.peers = []
+
+            def link(self, ref):
+                self.peers.append(ref)
+
+            def fan(self):
+                for p in self.peers:
+                    yield Call(p, "link", ActorRef("loop", 1))
+
+        def wire(runtime):
+            runtime.register_actor("loop", LoopActor)
+    '''))
+    graph = build_graph(index)
+    assert 1 <= graph.rounds <= 10
