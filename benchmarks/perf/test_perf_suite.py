@@ -20,11 +20,14 @@ FULL = os.environ.get("ACTOP_PERF_FULL", "0") == "1"
 
 def test_perf_suite_smoke(capsys):
     doc = perf.run_suite(smoke=not FULL, repeat=1)
-    assert doc["schema"] == 1
+    assert doc["schema"] == 2
     assert set(doc["benchmarks"]) == set(perf.BENCHMARKS)
     for name, result in doc["benchmarks"].items():
         assert result["units"] > 0, name
         assert result["rate_per_sec"] > 0, name
+        # Schema 2: every benchmark carries its memory trajectory.
+        assert result["peak_rss_bytes"] > 0, name
+        assert "alloc_blocks_delta" in result, name
     # The document must round-trip as JSON (it is the PR artifact).
     assert json.loads(perf.main_json(doc)) == doc
     with capsys.disabled():
@@ -40,6 +43,17 @@ def test_event_loop_throughput_floor():
     still fails."""
     result = perf.run_benchmark("event_loop", smoke=True, repeat=3)
     assert result["rate_per_sec"] > 400_000
+
+
+def test_spacesaving_offer_heap_stays_bounded():
+    """The offer() churn fix: in-place increments must not grow the
+    lazily-invalidated min-heap.  Pre-fix the heap held one entry per
+    offer (30k in smoke mode); post-fix it is O(capacity)."""
+    result = perf.run_benchmark("spacesaving", smoke=True, repeat=1)
+    capacity = result["extras"]["capacity"]
+    assert result["extras"]["dict_final_heap_len"] <= 2 * capacity + 64
+    assert result["extras"]["array_final_heap_len"] <= 2 * capacity + 64
+    assert result["extras"]["array_rate_per_sec"] > 0
 
 
 def test_cancellation_storm_stays_compact():

@@ -1,0 +1,60 @@
+"""Peak-RSS scaling gate: memory regressions fail like latency ones.
+
+Two modes:
+
+* **CI artifact mode** — the ``scale-smoke`` workflow job runs
+  ``repro perf --scaling --points 100000`` and exports the JSON path in
+  ``ACTOP_SCALING_JSON``; this test then gates the already-measured
+  points without re-running them.
+* **Standalone mode** — no env var: measure a 10k-actor point in a
+  fresh subprocess (so the pytest process's own RSS peak does not
+  pollute the measurement) and gate that.
+
+The threshold (``RSS_PER_ACTOR_GATE_BYTES``, ≲4 KB per actor over the
+interpreter baseline) lives in :mod:`repro.bench.scale`; it is what
+makes the paper's 10^6-actor population fit ~4 GB on one machine.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.bench import scale
+
+SCALING_JSON = os.environ.get("ACTOP_SCALING_JSON")
+
+
+def _measured_points():
+    if SCALING_JSON:
+        with open(SCALING_JSON) as fh:
+            doc = json.load(fh)
+        assert doc["kind"] == "scaling"
+        assert doc["points"], "scaling artifact has no points"
+        return doc["points"]
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(scale.__file__))))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "perf",
+         "--scale-point", "10000", "--horizon", "10", "--json", "-"],
+        env=env, capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-500:]
+    return [json.loads(proc.stdout)["point"]]
+
+
+def test_scaling_points_pass_peak_rss_gate():
+    points = _measured_points()
+    failures = [v for p in points for v in scale.gate_violations(p)]
+    assert not failures, "; ".join(failures)
+
+
+def test_scaling_points_made_progress():
+    """The gated run must be a real run, not a stillborn cluster."""
+    for point in _measured_points():
+        assert point["events"] > 10_000
+        assert point["activations"] > 0
+        assert point["population"] >= point["actors"] * 0.9
+        assert point["requests_completed"] > 0

@@ -1,15 +1,20 @@
 """Activations: a live actor instance on a specific silo.
 
 An activation owns the actor object, its per-actor work queue (Orleans
-runs at most one thread inside an actor at any instant), its
-communication counters (§4.3: "we keep the relevant counters locally at
-each actor, and periodically update the global graph data-structure"),
-and the deactivation latch used by transparent migration.
+runs at most one thread inside an actor at any instant) and the
+deactivation latch used by transparent migration.  Communication
+counters (§4.3) do NOT live here: a million idle activations must cost
+O(bytes) each, so per-edge counts are aggregated in the silo-level
+:class:`repro.actor.commtable.CommTable` instead of a dict per actor.
+
+The work queue is a plain list: empty lists cost 56 bytes against a
+deque's ~760, and queues are almost always empty or near-empty (depth
+beyond a handful only occurs under overload), so pop(0) beats the
+constant factor of deque at every realistic depth.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from enum import Enum, auto
 from typing import Any, Optional
 
@@ -49,7 +54,6 @@ class WorkItem:
         self.value = value              # RESUME: value to send into the generator
         self.throw = throw              # RESUME: raise value inside instead
 
-
 class Activation:
     """A live actor on one silo."""
 
@@ -60,8 +64,8 @@ class Activation:
         "segment_running",
         "open_turns",
         "pending_calls",
-        "comm_counters",
         "deactivating",
+        "discard_state",
         "deactivation_hint",
         "messages_handled",
         "last_active",
@@ -70,12 +74,12 @@ class Activation:
     def __init__(self, actor_id: ActorId, instance: Actor):
         self.actor_id = actor_id
         self.instance = instance
-        self.queue: deque[WorkItem] = deque()
+        self.queue: list[WorkItem] = []
         self.segment_running = False
         self.open_turns = 0          # turns started but not yet completed
         self.pending_calls = 0       # outstanding Call()s awaiting responses
-        self.comm_counters: dict[ActorId, float] = {}
         self.deactivating = False
+        self.discard_state = False   # deactivate without persisting state
         self.deactivation_hint: Optional[int] = None
         self.messages_handled = 0
         self.last_active = 0.0       # sim time of the last enqueued work
@@ -96,22 +100,12 @@ class Activation:
         if not self.queue or self.segment_running:
             return None
         if self.reentrant:
-            return self.queue.popleft()
+            return self.queue.pop(0)
         for idx, item in enumerate(self.queue):
             if item.kind is WorkKind.RESUME or self.open_turns == 0:
                 del self.queue[idx]
                 return item
         return None
-
-    def record_communication(self, peer: ActorId, weight: float = 1.0) -> None:
-        """Bump the local edge counter toward ``peer`` (§4.3)."""
-        self.comm_counters[peer] = self.comm_counters.get(peer, 0.0) + weight
-
-    def drain_counters(self) -> dict[ActorId, float]:
-        """Hand the counters to the per-server graph fold and reset them."""
-        counters = self.comm_counters
-        self.comm_counters = {}
-        return counters
 
     @property
     def quiescent(self) -> bool:

@@ -6,11 +6,18 @@ instantiated anywhere — the runtime activates it on first use and the
 physical location stays hidden from application code (§2).  That location
 transparency is exactly what lets ActOp migrate actors under a running
 application.
+
+At paper scale (10^6 actors, §6) identity objects dominate memory and
+hashing dominates directory lookups, so ``ActorId`` instances are
+*interned*: one canonical object per (type, key), with the tuple hash
+computed once and cached.  Interning also assigns each id a small dense
+``seq`` integer, which the silo-level communication tables use to pack an
+edge into a single machine word instead of a tuple.
 """
 
 from __future__ import annotations
 
-from typing import Any, Hashable, NamedTuple
+from typing import Any, Hashable, Iterator
 
 __all__ = ["ActorId", "ActorRef", "set_hash_salt"]
 
@@ -31,20 +38,107 @@ def set_hash_salt(salt: int) -> None:
     _HASH_SALT = salt
 
 
-class ActorId(NamedTuple):
-    """Stable logical identity of an actor."""
+class ActorId:
+    """Stable logical identity of an actor.
 
-    actor_type: str
-    key: Hashable
+    Instances are interned: ``ActorId(t, k) is ActorId(t, k)``.  The
+    cached ``_hash`` equals ``hash((t, k))`` so every hash-ordered
+    container of ids iterates exactly as it did when ActorId was a plain
+    NamedTuple — seeded digests depend on that.  Equality and ordering
+    remain tuple-compatible (an ActorId compares equal to the bare
+    ``(type, key)`` pair, and sorts element-wise), and ids still unpack
+    like 2-tuples.
+    """
+
+    __slots__ = ("actor_type", "key", "seq", "_hash")
+
+    _intern: dict[tuple[str, Hashable], "ActorId"] = {}
+
+    def __new__(cls, actor_type: str, key: Hashable) -> "ActorId":
+        pair = (actor_type, key)
+        cached = cls._intern.get(pair)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        self.actor_type = actor_type
+        self.key = key
+        self.seq = len(cls._intern)
+        self._hash = hash(pair)
+        cls._intern[pair] = self
+        return self
 
     def __str__(self) -> str:
         return f"{self.actor_type}/{self.key}"
+
+    def __repr__(self) -> str:
+        return f"ActorId(actor_type={self.actor_type!r}, key={self.key!r})"
 
     def __hash__(self) -> int:
         salt = _HASH_SALT
         if salt:
             return hash((salt, self.actor_type, self.key))
-        return tuple.__hash__(self)
+        return self._hash
+
+    # Tuple-compatible protocol ----------------------------------------
+    def __eq__(self, other: Any) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, ActorId):
+            return self.actor_type == other.actor_type and self.key == other.key
+        if isinstance(other, tuple):
+            return len(other) == 2 and (self.actor_type, self.key) == other
+        return NotImplemented
+
+    def __ne__(self, other: Any) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def _astuple(self) -> tuple[str, Hashable]:
+        return (self.actor_type, self.key)
+
+    @staticmethod
+    def _other_tuple(other: Any) -> Any:
+        if isinstance(other, ActorId):
+            return (other.actor_type, other.key)
+        if isinstance(other, tuple):
+            return other
+        return NotImplemented
+
+    def __lt__(self, other: Any) -> Any:
+        o = self._other_tuple(other)
+        return o if o is NotImplemented else self._astuple() < o
+
+    def __le__(self, other: Any) -> Any:
+        o = self._other_tuple(other)
+        return o if o is NotImplemented else self._astuple() <= o
+
+    def __gt__(self, other: Any) -> Any:
+        o = self._other_tuple(other)
+        return o if o is NotImplemented else self._astuple() > o
+
+    def __ge__(self, other: Any) -> Any:
+        o = self._other_tuple(other)
+        return o if o is NotImplemented else self._astuple() >= o
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter((self.actor_type, self.key))
+
+    def __len__(self) -> int:
+        return 2
+
+    def __getitem__(self, index: int) -> Any:
+        return (self.actor_type, self.key)[index]
+
+    def __reduce__(self):
+        # Re-intern on unpickle / deepcopy rather than duplicating.
+        return (ActorId, (self.actor_type, self.key))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def interned_count(cls) -> int:
+        return len(cls._intern)
 
 
 class ActorRef:
@@ -69,7 +163,7 @@ class ActorRef:
         return self.id.key
 
     def __eq__(self, other: Any) -> bool:
-        return isinstance(other, ActorRef) and self.id == other.id
+        return isinstance(other, ActorRef) and self.id is other.id
 
     def __hash__(self) -> int:
         return hash(self.id)

@@ -165,6 +165,12 @@ class ActorRuntime:
         self.placement: PlacementPolicy = RandomPlacement(self.rng)
         self.actor_types: dict[str, Type[Actor]] = {}
         self.storage: dict[ActorId, dict[str, Any]] = {}
+        # Tombstones for actors deactivated with discard_state=True: the
+        # placement fast path must still treat them as "existed before"
+        # (§4.3 re-places at the calling server) even though their state
+        # was dropped, or discarding would perturb seeded placement RNG
+        # draws.  Membership-only — never iterated.
+        self.discarded: set[ActorId] = set()
         # Observability attachment point (set by repro.obs.Observability).
         # None means fully uninstrumented: every tracing branch below is
         # one attribute load + comparison.
@@ -268,12 +274,19 @@ class ActorRuntime:
         self.sim.schedule(self.config.idle_collection_period,
                           self._idle_collection_tick)
 
-    def deactivate(self, actor_id: ActorId) -> bool:
-        """Idle-collect an actor wherever it lives (no placement hint)."""
+    def deactivate(self, actor_id: ActorId, discard_state: bool = False) -> bool:
+        """Idle-collect an actor wherever it lives (no placement hint).
+
+        With ``discard_state`` the actor's persisted state is dropped
+        instead of captured — for actors whose lifecycle is over (a
+        departed player, a dissolved game), keeping storage from growing
+        monotonically with churn.  A tombstone preserves the placement
+        branch the stored state would have selected.
+        """
         location = self.directory.lookup(actor_id)
         if location is None:
             return False
-        return self.silos[location].deactivate(actor_id)
+        return self.silos[location].deactivate(actor_id, discard_state=discard_state)
 
     # ------------------------------------------------------------------
     # Failure injection (§2's fault-tolerance contract)

@@ -37,6 +37,7 @@ from ..seda.server import StagedServer
 from ..seda.stage import Stage, StageEvent
 from .activation import Activation, WorkItem, WorkKind
 from .calls import All, Call, Sleep, Tell
+from .commtable import CommTable
 from .directory import LocationCache
 from .errors import ActorError, CallTimeout
 from .ids import ActorId
@@ -91,6 +92,7 @@ class Silo:
         self.client_sender = self.server.add_stage("client_sender", threads)
 
         self.activations: dict[ActorId, Activation] = {}
+        self.comm_table = CommTable()
         self.location_cache = LocationCache(cfg.location_cache_capacity)
         self._pending: dict[int, tuple[_Continuation, int]] = {}
         self._call_timers: dict[int, Any] = {}
@@ -168,7 +170,7 @@ class Silo:
             # actor on the migration destination.
             destination = hint
             self.placements_hinted += 1
-        elif target in self.runtime.storage:
+        elif target in self.runtime.storage or target in self.runtime.discarded:
             # §4.3: an actor that existed before (deactivated, e.g. by a
             # migration this server did not witness) is re-placed "on the
             # server which originated the call".
@@ -239,7 +241,7 @@ class Silo:
         self, activation: Activation, message: Message, extra_compute: float
     ) -> None:
         if message.sender is not None:
-            activation.record_communication(message.sender)
+            self.comm_table.record(activation.actor_id, message.sender)
         activation.last_active = self.sim.now
         cls = type(activation.instance)
         scale = self.runtime.time_scale
@@ -359,7 +361,7 @@ class Silo:
                 created_at=self.sim.now,
                 trace=self._child_trace(origin),
             )
-            activation.record_communication(yielded.target.id)
+            self.comm_table.record(activation.actor_id, yielded.target.id)
             self._dispatch_request(oneway)
             send_value = None
 
@@ -392,7 +394,7 @@ class Silo:
             call_id = next_call_id()
             self._pending[call_id] = (continuation, slot)
             activation.pending_calls += 1
-            activation.record_communication(call.target.id)
+            self.comm_table.record(activation.actor_id, call.target.id)
             trace = self._child_trace(origin)
             request = Message(
                 kind=MessageKind.CALL,
@@ -458,7 +460,7 @@ class Silo:
         # Actor-to-actor response.
         response = origin.make_response(result, size=origin.response_size,
                                         server_id=self.server_id)
-        activation.record_communication(origin.sender)
+        self.comm_table.record(activation.actor_id, origin.sender)
         destination = origin.reply_to_server
         assert destination is not None
         if destination == self.server_id:
@@ -533,7 +535,7 @@ class Silo:
         activation = continuation.activation
         activation.pending_calls -= 1
         if sender is not None:
-            activation.record_communication(sender)
+            self.comm_table.record(activation.actor_id, sender)
         if continuation.remaining == 0:
             errors = [r for r in continuation.results
                       if isinstance(r, ActorError)]
@@ -592,12 +594,13 @@ class Silo:
         self._maybe_finalize_deactivation(activation)
         return True
 
-    def deactivate(self, actor_id: ActorId) -> bool:
+    def deactivate(self, actor_id: ActorId, discard_state: bool = False) -> bool:
         """Plain deactivation (idle collection) — no placement hint."""
         activation = self.activations.get(actor_id)
         if activation is None or activation.deactivating:
             return False
         activation.deactivating = True
+        activation.discard_state = discard_state
         activation.deactivation_hint = None
         self._maybe_finalize_deactivation(activation)
         return True
@@ -624,7 +627,11 @@ class Silo:
         actor_id = activation.actor_id
         destination = activation.deactivation_hint
         activation.instance.on_deactivate()
-        self.runtime.storage[actor_id] = activation.instance.capture_state()
+        if activation.discard_state:
+            self.runtime.storage.pop(actor_id, None)
+            self.runtime.discarded.add(actor_id)
+        else:
+            self.runtime.storage[actor_id] = activation.instance.capture_state()
         del self.activations[actor_id]
         self.runtime.directory.unregister(actor_id)
         obs = self.runtime.obs

@@ -10,8 +10,8 @@ a way the evaluator cannot see) — either way the static graph cannot be
 trusted as a planning input, so the check fails loudly.
 
 The dynamic side drives the same seeded Halo slice the sanitizer uses
-and sweeps every activation's communication counters each horizon
-step, projecting ``ActorId`` pairs down to actor-type pairs.
+and sweeps every silo's communication table each horizon step,
+projecting ``ActorId`` pairs down to actor-type pairs.
 """
 
 from __future__ import annotations
@@ -26,9 +26,9 @@ def dynamic_type_edges(requests: int = 2_000, seed: int = 5,
                        ) -> Tuple[Dict[Tuple[str, str], float], dict]:
     """Run a seeded Halo slice; return observed type-level comm edges.
 
-    Sweeps ``Activation.comm_counters`` (draining them, as the ActOp
-    partition agent would) every simulated second, so edges from
-    activations that later deactivate are still captured.
+    Drains each silo's communication table (as the ActOp partition
+    agent would) every simulated second, so edges from activations
+    that later deactivate are still captured.
     """
     from ...bench.harness import HaloExperiment
 
@@ -41,13 +41,9 @@ def dynamic_type_edges(requests: int = 2_000, seed: int = 5,
 
     def sweep() -> None:
         for silo in rt.silos:
-            for actor_id, activation in silo.activations.items():
-                if not activation.comm_counters:
-                    continue
-                for peer, weight in activation.drain_counters().items():
-                    pair = tuple(sorted((actor_id.actor_type,
-                                         peer.actor_type)))
-                    edges[pair] = edges.get(pair, 0.0) + weight
+            for (src, peer), weight in silo.comm_table.drain():
+                pair = tuple(sorted((src.actor_type, peer.actor_type)))
+                edges[pair] = edges.get(pair, 0.0) + weight
 
     horizon = 0.0
     while rt.requests_completed < requests and horizon < 120.0:

@@ -17,6 +17,17 @@ isolation plus end-to-end:
 * ``halo_end_to_end``  — a small seeded Halo cluster; reports simulator
   events per wall-clock second, the number the Fig.-10 benches are
   bounded by.
+* ``spacesaving``      — weighted offers into the Space-Saving summary
+  under constant eviction pressure, for both the dict reference and the
+  array backend; ``extras`` reports the final heap length, the direct
+  witness of the offer() heap-churn fix.
+
+Every benchmark result carries ``peak_rss_bytes`` (process peak at the
+end of the run, via ``resource.getrusage``) and ``alloc_blocks_delta``
+(``sys.getallocatedblocks`` across the run) so BENCH_*.json captures the
+memory trajectory alongside throughput; the actor-count scaling curve
+with per-point RSS lives in :mod:`repro.bench.scale` behind
+``repro perf --scaling``.
 
 All benchmarks are deterministic in *simulated* behaviour (fixed seeds);
 only wall-clock throughput varies between machines.  Results are emitted
@@ -35,6 +46,7 @@ from __future__ import annotations
 import cProfile
 import json
 import platform
+import resource
 import sys
 import time
 from typing import Any, Callable, Optional
@@ -144,6 +156,37 @@ def bench_halo_end_to_end(
     }
 
 
+def bench_spacesaving(offers: int = 300_000, capacity: int = 256
+                      ) -> tuple[int, float, dict]:
+    from ..graph.arrayback import ArraySpaceSaving
+    from ..graph.spacesaving import SpaceSaving
+
+    # Deterministic key stream over 16x capacity distinct keys: steady
+    # mix of in-place increments (the churn-fix path) and evictions.
+    keys = [(i * 2654435761) % (capacity * 16) for i in range(8192)]
+
+    def drive(summary):
+        offer = summary.offer
+        start = time.perf_counter()
+        for i in range(offers):
+            offer(keys[i & 8191], 1.5)
+        return time.perf_counter() - start
+
+    dict_summary = SpaceSaving(capacity)
+    dict_seconds = drive(dict_summary)
+    array_summary = ArraySpaceSaving(capacity)
+    array_seconds = drive(array_summary)
+    return offers, dict_seconds, {
+        "capacity": capacity,
+        # Pre-fix this was ~offers long (one push per increment);
+        # post-fix it stays O(capacity).
+        "dict_final_heap_len": len(dict_summary._heap),
+        "array_final_heap_len": len(array_summary._heap),
+        "array_rate_per_sec": round(offers / array_seconds, 1)
+        if array_seconds > 0 else 0.0,
+    }
+
+
 # name -> (callable, full kwargs, smoke kwargs)
 BENCHMARKS: dict[str, tuple[Callable[..., tuple[int, float, dict]], dict, dict]] = {
     "event_loop": (bench_event_loop, {"events": 200_000}, {"events": 20_000}),
@@ -155,7 +198,17 @@ BENCHMARKS: dict[str, tuple[Callable[..., tuple[int, float, dict]], dict, dict]]
         {"players": 200, "horizon": 20.0},
         {"players": 100, "horizon": 5.0},
     ),
+    "spacesaving": (
+        bench_spacesaving,
+        {"offers": 300_000},
+        {"offers": 30_000},
+    ),
 }
+
+
+def _peak_rss_bytes() -> int:
+    scale = 1024 if sys.platform != "darwin" else 1
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * scale
 
 
 def run_benchmark(
@@ -173,6 +226,7 @@ def run_benchmark(
     kwargs = smoke_kwargs if smoke else full_kwargs
     runs = []
     extras: dict = {}
+    alloc_before = sys.getallocatedblocks()
     for i in range(max(1, repeat)):
         if profile_dir is not None and i == 0:
             profiler = cProfile.Profile()
@@ -196,6 +250,11 @@ def run_benchmark(
         "seconds": round(best["seconds"], 6),
         "rate_per_sec": round(best["rate"], 1),
         "all_rates_per_sec": [round(r["rate"], 1) for r in runs],
+        # Memory trajectory (satellite of the 1M-actor work): process
+        # peak is monotone across the suite, so compare points across
+        # runs of the SAME suite order, or run --only <name>.
+        "peak_rss_bytes": _peak_rss_bytes(),
+        "alloc_blocks_delta": sys.getallocatedblocks() - alloc_before,
         "extras": extras,
     }
 
@@ -215,7 +274,7 @@ def run_suite(
     results = [run_benchmark(n, smoke=smoke, repeat=repeat, profile_dir=profile_dir)
                for n in names]
     return {
-        "schema": 1,
+        "schema": 2,
         "mode": "smoke" if smoke else "full",
         "python": sys.version.split()[0],
         "platform": platform.platform(),

@@ -142,6 +142,24 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--profile", dest="profile_dir", metavar="DIR",
                       help="opt-in cProfile: dump per-benchmark .pstats "
                            "files into DIR (profiles the first repeat)")
+    perf.add_argument("--scaling", action="store_true",
+                      help="run the actor-count scaling curve "
+                           "(10k/100k/1M seeded Halo on 10 silos) instead "
+                           "of the microbenchmark suite")
+    perf.add_argument("--points", nargs="+", type=int, metavar="ACTORS",
+                      help="override the scaling-curve actor counts")
+    perf.add_argument("--scale-point", dest="scale_point", type=int,
+                      metavar="ACTORS",
+                      help="measure ONE scaling point in this process "
+                           "(used by --scaling to isolate per-point RSS)")
+    perf.add_argument("--horizon", type=float, default=30.0,
+                      help="simulated seconds per scaling point")
+    perf.add_argument("--gate", action="store_true",
+                      help="exit non-zero if any scaling point exceeds "
+                           "the peak-RSS-per-actor gate")
+    perf.add_argument("--no-isolate", dest="isolate", action="store_false",
+                      help="measure scaling points in-process instead of "
+                           "one subprocess each (peak RSS then compounds)")
 
     trace = sub.add_parser(
         "trace",
@@ -258,6 +276,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("alg1", "multilevel", "jabeja", "streaming"),
         default=["alg1", "multilevel", "jabeja", "streaming"],
     )
+    part.add_argument("--backend", choices=("dict", "array"), default="dict",
+                      help="graph representation: the nested-dict reference "
+                           "or the array-backed paper-scale variant "
+                           "(property-tested equivalent)")
     return parser
 
 
@@ -323,15 +345,22 @@ def _run_heartbeat(args: argparse.Namespace) -> int:
 
 
 def _run_partition(args: argparse.Namespace) -> int:
+    from .graph.arrayback import ArrayCommGraph
+    from .graph.comm_graph import CommGraph
+
+    factory = ArrayCommGraph if args.backend == "array" else CommGraph
     rng = random.Random(args.seed)
     if args.graph == "clustered":
         clusters = max(2, args.vertices // 9)
         graph = clustered_graph(clusters, 9, intra_weight=10.0,
-                                inter_edges_per_cluster=1, rng=rng)
+                                inter_edges_per_cluster=1, rng=rng,
+                                graph_factory=factory)
     elif args.graph == "powerlaw":
-        graph = power_law_graph(args.vertices, attach=2, rng=rng)
+        graph = power_law_graph(args.vertices, attach=2, rng=rng,
+                                graph_factory=factory)
     else:
-        graph = random_graph(args.vertices, mean_degree=6.0, rng=rng)
+        graph = random_graph(args.vertices, mean_degree=6.0, rng=rng,
+                             graph_factory=factory)
 
     vertices = list(graph.vertices())
     rng.shuffle(vertices)
@@ -818,6 +847,8 @@ def _run_waiver_audit(args: argparse.Namespace) -> int:
 def _run_perf(args: argparse.Namespace) -> int:
     from .bench import perf
 
+    if args.scale_point or args.scaling:
+        return _run_perf_scaling(args)
     try:
         doc = perf.run_suite(
             smoke=args.smoke,
@@ -845,6 +876,56 @@ def _run_perf(args: argparse.Namespace) -> int:
     if args.profile_dir:
         print(f"cProfile stats in {args.profile_dir}/<benchmark>.pstats "
               f"(inspect with python -m pstats)")
+    return 0
+
+
+def _run_perf_scaling(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench import scale
+
+    try:
+        if args.scale_point:
+            point = scale.run_scale_point(args.scale_point,
+                                          horizon=args.horizon)
+            doc = {
+                "schema": 2,
+                "kind": "scale_point",
+                "gate_rss_bytes_per_actor": scale.RSS_PER_ACTOR_GATE_BYTES,
+                "point": point,
+            }
+            violations = scale.gate_violations(point)
+        else:
+            doc = scale.run_scaling_curve(points=args.points,
+                                          horizon=args.horizon,
+                                          isolate=args.isolate)
+            violations = [v for p in doc["points"] for v in p["violations"]]
+    except Exception as exc:  # failed run -> non-zero exit, not a traceback
+        print(f"scaling bench failed: {exc}", file=sys.stderr)
+        return 1
+    if args.scaling:
+        table = scale.render_curve(doc)
+    else:
+        p = doc["point"]
+        table = (f"{p['actors']:,} actors: {p['wall_seconds']:.1f}s wall "
+                 f"({p['bootstrap_seconds']:.1f}s bootstrap), "
+                 f"{p['events']:,} events, "
+                 f"{p['peak_rss_bytes'] / 2**20:,.0f} MiB peak RSS "
+                 f"({p['rss_bytes_per_actor']:,.0f} B/actor)")
+    payload = json.dumps(doc, indent=2, sort_keys=True)
+    if args.json_path == "-":
+        print(table, file=sys.stderr)
+        print(payload)
+    else:
+        print(table)
+        if args.json_path:
+            with open(args.json_path, "w") as fh:
+                fh.write(payload + "\n")
+            print(f"\nJSON written to {args.json_path}")
+    for violation in violations:
+        print(f"GATE: {violation}", file=sys.stderr)
+    if args.gate and violations:
+        return 1
     return 0
 
 

@@ -113,13 +113,20 @@ class PartitionAgent:
         self.runtime.sim.schedule(self.config.stats_period, self._fold_tick)
 
     def fold_counters(self) -> None:
-        """Fold per-actor counters into the Space-Saving edge summary."""
+        """Fold the silo's communication table into the Space-Saving
+        edge summary.
+
+        One pass over the flat silo-level :class:`CommTable` — O(active
+        edges), not O(activations).  Entries whose source has since
+        deactivated or migrated away are skipped, matching the original
+        per-activation semantics where counters died with the
+        activation.
+        """
         self.edges.decay(self.config.decay)
         hosted = self.silo.activations
-        for activation in hosted.values():
-            counters = activation.drain_counters()
-            for peer, weight in counters.items():
-                self.edges.offer((activation.actor_id, peer), weight)
+        for (src, peer), weight in self.silo.comm_table.drain():
+            if src in hosted:
+                self.edges.offer((src, peer), weight)
         # Purge sampled edges whose local endpoint has migrated away.
         stale = [key for key, _ in self.edges.items() if key[0] not in hosted]
         for key in stale:

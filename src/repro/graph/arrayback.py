@@ -1,0 +1,331 @@
+"""Array-backed graph summaries for paper-scale populations.
+
+The dict-of-dicts :class:`~repro.graph.comm_graph.CommGraph` and the
+dict-of-lists :class:`~repro.graph.spacesaving.SpaceSaving` are the
+*reference* implementations: obviously correct, property-tested, and
+fine up to a few thousand actors.  At the paper's 10^6-actor scale
+(§6) their per-entry overhead — a dict slot plus a 2-element list plus
+boxed floats per monitored key — dominates RSS.
+
+This module re-implements both on parallel ``array('d')`` buffers with
+index maps, as Le Merrer et al. prescribe for stream summaries on
+workers: a monitored Space-Saving key costs one insertion-ordered dict
+slot, one list cell, and two C doubles; a graph vertex costs one dict
+slot plus two compact arrays of neighbor slots and weights.
+
+Both classes are pinned **byte-for-byte equivalent** to the dict
+references — same keys, same float counts and errors, same iteration
+order — by a Hypothesis property test
+(``tests/property/test_prop_array_backends.py``) over randomized
+weighted offer/merge/decay/forget sequences.  That equivalence is what
+keeps seeded digests identical whichever backend a run selects.
+
+All iteration is over insertion-ordered index dicts or positional
+arrays — never over hash-ordered sets — so the backends are
+digest-neutral by construction (DET rules).
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+from typing import Generic, Hashable, Iterable, Iterator, Optional, TypeVar
+
+try:  # numpy is optional: vectorized decay, identical float64 semantics
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
+
+__all__ = ["ArraySpaceSaving", "ArrayCommGraph"]
+
+K = TypeVar("K", bound=Hashable)
+Vertex = Hashable
+
+
+class ArraySpaceSaving(Generic[K]):
+    """Space-Saving on parallel key/count/error arrays.
+
+    Mirrors :class:`repro.graph.spacesaving.SpaceSaving` operation for
+    operation (same lazily-refreshed min-heap, same eviction rule, same
+    float arithmetic) while storing counts and errors unboxed.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._slots: dict[K, int] = {}      # key -> slot, insertion-ordered
+        self._keys: list[Optional[K]] = []  # slot -> key (None when free)
+        self._counts: array = array("d")
+        self._errors: array = array("d")
+        self._free: list[int] = []
+        self._heap: list[tuple[float, K]] = []
+        self.total_weight = 0.0
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._slots
+
+    # ------------------------------------------------------------------
+    def offer(self, key: K, weight: float = 1.0) -> None:
+        """Record ``weight`` more observations of ``key``."""
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        self.total_weight += weight
+        slot = self._slots.get(key)
+        if slot is not None:
+            self._counts[slot] += weight
+        elif len(self._slots) < self.capacity:
+            if self._free:
+                slot = self._free.pop()
+                self._keys[slot] = key
+                self._counts[slot] = weight
+                self._errors[slot] = 0.0
+            else:
+                slot = len(self._keys)
+                self._keys.append(key)
+                self._counts.append(weight)
+                self._errors.append(0.0)
+            self._slots[key] = slot
+            heapq.heappush(self._heap, (weight, key))
+        else:
+            min_count, victim = self._pop_min()
+            vslot = self._slots.pop(victim)
+            self._keys[vslot] = key
+            self._counts[vslot] = min_count + weight
+            self._errors[vslot] = min_count
+            self._slots[key] = vslot
+            heapq.heappush(self._heap, (min_count + weight, key))
+            if len(self._heap) > max(64, 2 * self.capacity):
+                self._rebuild_heap()
+
+    def _pop_min(self) -> tuple[float, K]:
+        heap = self._heap
+        slots = self._slots
+        counts = self._counts
+        while heap:
+            count, key = heap[0]
+            slot = slots.get(key)
+            if slot is None:
+                heapq.heappop(heap)  # forgotten key
+                continue
+            current = counts[slot]
+            if current == count:
+                heapq.heappop(heap)
+                return count, key
+            heapq.heapreplace(heap, (current, key))
+        raise RuntimeError("heap/slots desynchronized")  # pragma: no cover
+
+    def _rebuild_heap(self) -> None:
+        self._heap = [(self._counts[slot], key)
+                      for key, slot in self._slots.items()]
+        heapq.heapify(self._heap)
+
+    # ------------------------------------------------------------------
+    def count(self, key: K) -> float:
+        slot = self._slots.get(key)
+        return self._counts[slot] if slot is not None else 0.0
+
+    def guaranteed_count(self, key: K) -> float:
+        slot = self._slots.get(key)
+        if slot is None:
+            return 0.0
+        return self._counts[slot] - self._errors[slot]
+
+    def error(self, key: K) -> float:
+        slot = self._slots.get(key)
+        return self._errors[slot] if slot is not None else 0.0
+
+    def top(self, k: int) -> list[tuple[K, float]]:
+        ordered = sorted(self._slots.items(),
+                         key=lambda kv: self._counts[kv[1]], reverse=True)
+        return [(key, self._counts[slot]) for key, slot in ordered[:k]]
+
+    def items(self) -> Iterable[tuple[K, float]]:
+        return ((key, self._counts[slot]) for key, slot in self._slots.items())
+
+    def decay(self, factor: float) -> None:
+        """Multiply every count by ``factor`` in (0, 1]."""
+        if not 0 < factor <= 1:
+            raise ValueError("decay factor must be in (0, 1]")
+        if factor == 1.0:
+            return
+        if _np is not None and len(self._counts):
+            # float64 in-place multiply: bit-identical to the Python
+            # float loop below (both are IEEE-754 double operations).
+            _np.frombuffer(self._counts)[:] *= factor
+            _np.frombuffer(self._errors)[:] *= factor
+        else:
+            for slot in range(len(self._counts)):
+                self._counts[slot] *= factor
+                self._errors[slot] *= factor
+        self._heap = [(count * factor, key) for count, key in self._heap]
+        self.total_weight *= factor
+
+    def forget(self, key: K) -> None:
+        """Drop a key; its slot is recycled and heap pairs go stale."""
+        slot = self._slots.pop(key, None)
+        if slot is not None:
+            self._keys[slot] = None
+            self._free.append(slot)
+            if len(self._heap) > max(64, 2 * len(self._slots)):
+                self._rebuild_heap()
+
+    def merge(self, other) -> None:
+        """Fold another summary's monitored counts into this one."""
+        for key, count in list(other.items()):
+            if count > 0:
+                self.offer(key, count)
+
+
+class ArrayCommGraph:
+    """Undirected weighted graph on slot-indexed parallel arrays.
+
+    API-compatible with :class:`repro.graph.comm_graph.CommGraph`; a
+    vertex holds its neighbors as an ``array('l')`` of vertex slots and
+    an ``array('d')`` of weights, appended in edge-insertion order.
+    """
+
+    def __init__(self) -> None:
+        self._index: dict[Vertex, int] = {}  # vertex -> slot, insertion-ordered
+        self._verts: list[Optional[Vertex]] = []  # slot -> vertex (None = free)
+        self._nbrs: list[array] = []         # slot -> neighbor slots
+        self._wts: list[array] = []          # slot -> edge weights
+        self._free: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _slot_for(self, v: Vertex) -> int:
+        slot = self._index.get(v)
+        if slot is None:
+            if self._free:
+                slot = self._free.pop()
+                self._verts[slot] = v
+            else:
+                slot = len(self._verts)
+                self._verts.append(v)
+                self._nbrs.append(array("l"))
+                self._wts.append(array("d"))
+            self._index[v] = slot
+        return slot
+
+    def add_vertex(self, v: Vertex) -> None:
+        self._slot_for(v)
+
+    def add_edge(self, u: Vertex, v: Vertex, weight: float = 1.0) -> None:
+        """Add ``weight`` to the edge (u, v); creates vertices as needed."""
+        if u == v:
+            raise ValueError("self-loops are not meaningful here")
+        if weight <= 0:
+            raise ValueError(f"edge weight must be positive, got {weight}")
+        us, vs = self._slot_for(u), self._slot_for(v)
+        self._bump(us, vs, weight)
+        self._bump(vs, us, weight)
+
+    def _bump(self, us: int, vs: int, weight: float) -> None:
+        nbrs = self._nbrs[us]
+        try:
+            pos = nbrs.index(vs)
+        except ValueError:
+            nbrs.append(vs)
+            self._wts[us].append(weight)
+        else:
+            self._wts[us][pos] += weight
+
+    def remove_vertex(self, v: Vertex) -> None:
+        slot = self._index.pop(v, None)
+        if slot is None:
+            return
+        for nslot in self._nbrs[slot]:
+            arr = self._nbrs[nslot]
+            pos = arr.index(slot)
+            del arr[pos]
+            del self._wts[nslot][pos]
+        self._nbrs[slot] = array("l")
+        self._wts[slot] = array("d")
+        self._verts[slot] = None
+        self._free.append(slot)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._index)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(self._nbrs[slot]) for slot in self._index.values()) // 2
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._index)
+
+    def neighbors(self, v: Vertex) -> dict[Vertex, float]:
+        """The neighbor->weight map of ``v`` (built on demand)."""
+        slot = self._index[v]
+        verts = self._verts
+        return {verts[n]: w for n, w in zip(self._nbrs[slot], self._wts[slot])}
+
+    def weight(self, u: Vertex, v: Vertex) -> float:
+        us = self._index.get(u)
+        vs = self._index.get(v)
+        if us is None or vs is None:
+            return 0.0
+        try:
+            pos = self._nbrs[us].index(vs)
+        except ValueError:
+            return 0.0
+        return self._wts[us][pos]
+
+    def degree(self, v: Vertex) -> float:
+        """Weighted degree: sum of incident edge weights."""
+        return sum(self._wts[self._index[v]])
+
+    def edges(self) -> Iterator[tuple[Vertex, Vertex, float]]:
+        """Each undirected edge once, as (u, v, weight)."""
+        seen: set[int] = set()
+        verts = self._verts
+        for u, slot in self._index.items():
+            for nslot, w in zip(self._nbrs[slot], self._wts[slot]):
+                if nslot not in seen:
+                    yield (u, verts[nslot], w)
+            seen.add(slot)
+
+    def total_weight(self) -> float:
+        return sum(w for _, _, w in self.edges())
+
+    def subgraph(self, keep: Iterable[Vertex]) -> "ArrayCommGraph":
+        keep_set = dict.fromkeys(keep)
+        sub = ArrayCommGraph()
+        for v in keep_set:
+            if v in self._index:
+                sub.add_vertex(v)
+        for u, v, w in self.edges():
+            if u in keep_set and v in keep_set:
+                sub.add_edge(u, v, w)
+        return sub
+
+    def copy(self) -> "ArrayCommGraph":
+        clone = ArrayCommGraph()
+        clone._index = dict(self._index)
+        clone._verts = list(self._verts)
+        clone._nbrs = [array("l", a) for a in self._nbrs]
+        clone._wts = [array("d", a) for a in self._wts]
+        clone._free = list(self._free)
+        return clone
+
+    def merge(self, other) -> None:
+        """Fold another graph's vertices and edge weights into this one."""
+        for v in other.vertices():
+            self.add_vertex(v)
+        for u, v, w in other.edges():
+            self.add_edge(u, v, w)

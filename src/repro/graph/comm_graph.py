@@ -104,3 +104,10 @@ class CommGraph:
         clone = CommGraph()
         clone._adj = {v: dict(nbrs) for v, nbrs in self._adj.items()}
         return clone
+
+    def merge(self, other: "CommGraph") -> None:
+        """Fold another graph's vertices and edge weights into this one."""
+        for v in other.vertices():
+            self.add_vertex(v)
+        for u, v, w in other.edges():
+            self.add_edge(u, v, w)

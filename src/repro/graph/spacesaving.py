@@ -53,8 +53,11 @@ class SpaceSaving(Generic[K]):
         self.total_weight += weight
         entry = self._entries.get(key)
         if entry is not None:
+            # In-place increment only: the key's existing heap pair goes
+            # stale (count too low) and is lazily refreshed by _pop_min.
+            # Pushing here — the old behavior — grew the heap by one pair
+            # per offer and made every fold O(stream log stream).
             entry[0] += weight
-            heapq.heappush(self._heap, (entry[0], key))
         elif len(self._entries) < self.capacity:
             self._entries[key] = [weight, 0.0]
             heapq.heappush(self._heap, (weight, key))
@@ -65,17 +68,30 @@ class SpaceSaving(Generic[K]):
             # error — the signature Space-Saving move.
             self._entries[key] = [min_count + weight, min_count]
             heapq.heappush(self._heap, (min_count + weight, key))
-        if len(self._heap) > max(64, 4 * self.capacity):
-            self._rebuild_heap()
+            if len(self._heap) > max(64, 2 * self.capacity):
+                self._rebuild_heap()
 
     def _pop_min(self) -> tuple[float, K]:
-        while self._heap:
-            count, key = self._heap[0]
-            entry = self._entries.get(key)
-            if entry is not None and entry[0] == count:
-                heapq.heappop(self._heap)
+        """Pop the live minimum (count, key) pair.
+
+        Heap pairs are lower bounds: a pair's count can only lag its
+        entry (offers never push).  So when the top pair is live it is
+        the true minimum — any other entry's count dominates its own
+        heap pair, which dominates the top.  Stale-low pairs are
+        refreshed in place (heapreplace) instead of accumulating.
+        """
+        heap = self._heap
+        entries = self._entries
+        while heap:
+            count, key = heap[0]
+            entry = entries.get(key)
+            if entry is None:
+                heapq.heappop(heap)  # forgotten key
+                continue
+            if entry[0] == count:
+                heapq.heappop(heap)
                 return count, key
-            heapq.heappop(self._heap)  # stale
+            heapq.heapreplace(heap, (entry[0], key))
         raise RuntimeError("heap/entries desynchronized")  # pragma: no cover
 
     def _rebuild_heap(self) -> None:
@@ -140,5 +156,15 @@ class SpaceSaving(Generic[K]):
         if self._entries.pop(key, None) is not None:
             # Safety valve: if forgets have made the heap mostly stale
             # without intervening offers, compact it here.
-            if len(self._heap) > max(64, 4 * len(self._entries)):
+            if len(self._heap) > max(64, 2 * len(self._entries)):
                 self._rebuild_heap()
+
+    def merge(self, other: "SpaceSaving[K]") -> None:
+        """Fold another summary's monitored counts into this one.
+
+        Standard Space-Saving merge-by-offer: the result keeps both
+        guarantees with errors summing in the worst case.
+        """
+        for key, count in list(other.items()):
+            if count > 0:
+                self.offer(key, count)

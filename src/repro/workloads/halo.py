@@ -30,6 +30,7 @@ request rate chosen to land at the same per-server CPU utilization.
 from __future__ import annotations
 
 import itertools
+from array import array
 from dataclasses import dataclass
 from typing import Optional
 
@@ -144,6 +145,11 @@ class HaloConfig:
     request_size: int = 256
     response_size: int = 128
     bootstrap: bool = True               # start with a full population
+    # Paper-scale switches (defaults preserve the original message-driven
+    # behavior bit for bit; the scale benches flip them):
+    direct_bootstrap: bool = False       # install bootstrap games without messages
+    lazy_idle_pool: bool = False         # pooled players cost O(bytes), not O(activation)
+    discard_departed: bool = True        # drop state of departed players / closed games
 
 
 class HaloWorkload:
@@ -166,15 +172,19 @@ class HaloWorkload:
         self._game_ids = itertools.count()
 
         self.idle_pool: list[int] = []
-        self.playing: set[int] = set()
-        self.games_played: dict[int, int] = {}
-        self.quota: dict[int, int] = {}
+        self.playing: set[int] = set()      # membership checks only, never iterated
+        # Struct-of-arrays player bookkeeping, indexed by pid (pids are
+        # dense sequential ints): a million players cost ~13 bytes each
+        # here instead of three dict entries apiece.
+        self.games_played: array = array("i")
+        self.quota: array = array("b")
+        self._live_index: array = array("l")  # pid -> live_players slot, -1 = departed
         self.live_players: list[int] = []   # sampled for status requests
-        self._live_index: dict[int, int] = {}
         self.active_games: dict[int, list[int]] = {}
         self.requests_issued = 0
         self.games_started = 0
         self.players_departed = 0
+        self.idle_short_circuits = 0        # lazy_idle_pool: requests answered locally
         self._running = False
 
     # ------------------------------------------------------------------
@@ -191,24 +201,24 @@ class HaloWorkload:
 
     def _add_player(self) -> int:
         pid = next(self._player_ids)
-        self.games_played[pid] = 0
-        self.quota[pid] = self._match_rng.randint(*self.config.games_per_player)
+        self.games_played.append(0)
+        self.quota.append(self._match_rng.randint(*self.config.games_per_player))
         self.idle_pool.append(pid)
-        self._live_index[pid] = len(self.live_players)
+        self._live_index.append(len(self.live_players))
         self.live_players.append(pid)
         return pid
 
     def _remove_player(self, pid: int) -> None:
         # O(1) removal: swap with the last live player.
-        idx = self._live_index.pop(pid)
+        idx = self._live_index[pid]
+        self._live_index[pid] = -1
         last = self.live_players.pop()
         if last != pid:
             self.live_players[idx] = last
             self._live_index[last] = idx
-        self.games_played.pop(pid, None)
-        self.quota.pop(pid, None)
         self.players_departed += 1
-        self.runtime.deactivate(self.runtime.ref(self.PLAYER, pid).id)
+        self.runtime.deactivate(self.runtime.ref(self.PLAYER, pid).id,
+                                discard_state=self.config.discard_departed)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -231,7 +241,10 @@ class HaloWorkload:
             self._add_player()
         # Form games out of everyone beyond the idle-pool target.
         while len(self.idle_pool) >= self.config.pool_target + self.config.players_per_game:
-            self._start_game(bootstrap=True)
+            if self.config.direct_bootstrap:
+                self._install_game()
+            else:
+                self._start_game(bootstrap=True)
 
     # ------------------------------------------------------------------
     # Arrivals
@@ -286,6 +299,40 @@ class HaloWorkload:
             duration *= self._match_rng.random()
         self.runtime.sim.schedule(duration, self._end_game, gid)
 
+    def _install_game(self) -> None:
+        """Bootstrap a game *directly*: place and host the game and its
+        members, wire the refs, and schedule the residual duration — no
+        messages.  A 10^6-player bootstrap through ``_start_game`` would
+        put ~10^5 simultaneous ``start_game`` fan-outs (each 1 + 8 + 8
+        messages) on the t=0 event queue before the run proper begins;
+        installing state directly keeps bootstrap O(population) with no
+        event-queue spike.  Draw order matches ``_start_game(bootstrap=
+        True)`` exactly; only the message traffic differs, so this is an
+        opt-in mode for the scale benches, not the pinned default."""
+        members = self._draw_members()
+        gid = next(self._game_ids)
+        self.active_games[gid] = members
+        self.playing.update(members)
+        self.games_started += 1
+        rt = self.runtime
+        game_ref = rt.ref(self.GAME, gid)
+        placement = rt.placement
+        dest = placement.choose(game_ref.id, 0, rt.num_servers)
+        rt.activate(game_ref.id, dest)
+        game = rt.silos[dest].activations[game_ref.id].instance
+        member_refs = []
+        for pid in members:
+            pref = rt.ref(self.PLAYER, pid)
+            pdest = placement.choose(pref.id, 0, rt.num_servers)
+            rt.activate(pref.id, pdest)
+            rt.silos[pdest].activations[pref.id].instance.game = game_ref
+            member_refs.append(pref)
+        game.members = member_refs
+        lo, hi = self.config.game_duration
+        duration = self._match_rng.uniform(lo, hi)
+        duration *= self._match_rng.random()  # stationary residual
+        rt.sim.schedule(duration, self._end_game, gid)
+
     def _end_game(self, gid: int) -> None:
         if not self._running:
             return
@@ -303,10 +350,11 @@ class HaloWorkload:
         )
 
     def _game_closed(self, gid: int, members: list[int]) -> None:
-        self.runtime.deactivate(self.runtime.ref(self.GAME, gid).id)
+        self.runtime.deactivate(self.runtime.ref(self.GAME, gid).id,
+                                discard_state=self.config.discard_departed)
         for pid in members:
             self.playing.discard(pid)
-            if pid not in self.games_played:
+            if self._live_index[pid] < 0:
                 continue  # departed concurrently (should not happen)
             self.games_played[pid] += 1
             if self.games_played[pid] >= self.quota[pid]:
@@ -330,6 +378,13 @@ class HaloWorkload:
         if not self.live_players:
             return
         pid = self.live_players[self._request_rng.randrange(len(self.live_players))]
+        if self.config.lazy_idle_pool and pid not in self.playing:
+            # The workload knows this player is pooled; answer the
+            # status probe locally instead of activating an idle actor
+            # just to have it say "idle".  RNG draw order above is
+            # identical either way.
+            self.idle_short_circuits += 1
+            return
         ref = self.runtime.ref(self.PLAYER, pid)
         self.requests_issued += 1
         self.runtime.client_request(

@@ -71,8 +71,9 @@ def test_perf_command_smoke(capsys, tmp_path):
     out = capsys.readouterr().out
     assert "event_loop" in out
     doc = json.loads(out_path.read_text())
-    assert doc["schema"] == 1
+    assert doc["schema"] == 2
     assert doc["benchmarks"]["event_loop"]["rate_per_sec"] > 0
+    assert doc["benchmarks"]["event_loop"]["peak_rss_bytes"] > 0
 
 
 def test_trace_command_smoke(capsys, tmp_path):

@@ -1,0 +1,166 @@
+"""Property tests: array backends are byte-for-byte equivalent to the
+dict references.
+
+The array-backed ``ArraySpaceSaving`` / ``ArrayCommGraph`` exist purely
+for memory at paper scale; their contract is *bit-identical observable
+behavior* — same keys, same float counts and errors, same iteration
+order — under any interleaving of weighted offers, decays, forgets,
+merges, edge updates, and vertex removals.  Equality of iteration order
+matters as much as equality of values: seeded digests depend on it.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.arrayback import ArrayCommGraph, ArraySpaceSaving
+from repro.graph.comm_graph import CommGraph
+from repro.graph.spacesaving import SpaceSaving
+
+# ----------------------------------------------------------------------
+# Space-Saving equivalence
+# ----------------------------------------------------------------------
+
+keys = st.integers(min_value=0, max_value=24)
+weights = st.floats(min_value=0.125, max_value=16.0, allow_nan=False,
+                    allow_infinity=False)
+
+ss_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("offer"), keys, weights),
+        st.tuples(st.just("decay"), st.floats(min_value=0.25, max_value=1.0),
+                  st.just(0)),
+        st.tuples(st.just("forget"), keys, st.just(0)),
+    ),
+    min_size=1,
+    max_size=300,
+)
+
+
+def _apply_ss(summary, ops):
+    for op, a, b in ops:
+        if op == "offer":
+            summary.offer(a, b)
+        elif op == "decay":
+            summary.decay(a)
+        else:
+            summary.forget(a)
+
+
+def _assert_ss_equal(ref: SpaceSaving, arr: ArraySpaceSaving):
+    # Same keys, same counts, same errors, SAME ITERATION ORDER.
+    assert list(ref.items()) == list(arr.items())
+    assert len(ref) == len(arr)
+    assert ref.total_weight == arr.total_weight
+    for key in list(dict(ref.items())):
+        assert ref.count(key) == arr.count(key)
+        assert ref.error(key) == arr.error(key)
+        assert ref.guaranteed_count(key) == arr.guaranteed_count(key)
+    assert ref.top(3) == arr.top(3)
+    assert ref.top(len(ref) + 1) == arr.top(len(arr) + 1)
+
+
+@given(ss_ops, st.integers(min_value=1, max_value=8))
+@settings(max_examples=200, deadline=None)
+def test_array_spacesaving_matches_dict_reference(ops, capacity):
+    ref, arr = SpaceSaving(capacity), ArraySpaceSaving(capacity)
+    _apply_ss(ref, ops)
+    _apply_ss(arr, ops)
+    _assert_ss_equal(ref, arr)
+
+
+@given(ss_ops, ss_ops, st.integers(min_value=1, max_value=8))
+@settings(max_examples=100, deadline=None)
+def test_array_spacesaving_merge_matches_reference(ops_a, ops_b, capacity):
+    ref_a, arr_a = SpaceSaving(capacity), ArraySpaceSaving(capacity)
+    ref_b, arr_b = SpaceSaving(capacity), ArraySpaceSaving(capacity)
+    _apply_ss(ref_a, ops_a)
+    _apply_ss(arr_a, ops_a)
+    _apply_ss(ref_b, ops_b)
+    _apply_ss(arr_b, ops_b)
+    ref_a.merge(ref_b)
+    arr_a.merge(arr_b)
+    _assert_ss_equal(ref_a, arr_a)
+    # Cross-backend merge must agree too (summaries travel between
+    # silo-level folds regardless of the backend either side picked).
+    ref_c, arr_c = SpaceSaving(capacity), ArraySpaceSaving(capacity)
+    _apply_ss(ref_c, ops_a)
+    _apply_ss(arr_c, ops_a)
+    ref_c.merge(arr_b)
+    arr_c.merge(ref_b)
+    _assert_ss_equal(ref_c, arr_c)
+
+
+# ----------------------------------------------------------------------
+# CommGraph equivalence
+# ----------------------------------------------------------------------
+
+verts = st.integers(min_value=0, max_value=14)
+
+graph_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("edge"), verts, verts, weights),
+        st.tuples(st.just("vertex"), verts, st.just(0), st.just(0.0)),
+        st.tuples(st.just("remove"), verts, st.just(0), st.just(0.0)),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+def _apply_graph(graph, ops):
+    for op, u, v, w in ops:
+        if op == "edge":
+            if u != v:
+                graph.add_edge(u, v, w)
+        elif op == "vertex":
+            graph.add_vertex(u)
+        else:
+            graph.remove_vertex(u)
+
+
+def _assert_graph_equal(ref: CommGraph, arr: ArrayCommGraph):
+    assert list(ref.vertices()) == list(arr.vertices())
+    assert len(ref) == len(arr)
+    assert ref.num_vertices == arr.num_vertices
+    assert ref.num_edges == arr.num_edges
+    # Edge iteration order and neighbor iteration order both pinned.
+    assert list(ref.edges()) == list(arr.edges())
+    assert ref.total_weight() == arr.total_weight()
+    for v in ref.vertices():
+        assert list(ref.neighbors(v).items()) == list(arr.neighbors(v).items())
+        assert ref.degree(v) == arr.degree(v)
+        for u in ref.neighbors(v):
+            assert ref.weight(v, u) == arr.weight(v, u)
+
+
+@given(graph_ops)
+@settings(max_examples=200, deadline=None)
+def test_array_commgraph_matches_dict_reference(ops):
+    ref, arr = CommGraph(), ArrayCommGraph()
+    _apply_graph(ref, ops)
+    _apply_graph(arr, ops)
+    _assert_graph_equal(ref, arr)
+
+
+@given(graph_ops, st.lists(verts, max_size=10))
+@settings(max_examples=100, deadline=None)
+def test_array_commgraph_subgraph_and_copy_match(ops, keep):
+    ref, arr = CommGraph(), ArrayCommGraph()
+    _apply_graph(ref, ops)
+    _apply_graph(arr, ops)
+    _assert_graph_equal(ref.subgraph(keep), arr.subgraph(keep))
+    _assert_graph_equal(ref.copy(), arr.copy())
+
+
+@given(graph_ops, graph_ops)
+@settings(max_examples=100, deadline=None)
+def test_array_commgraph_merge_matches_reference(ops_a, ops_b):
+    ref_a, arr_a = CommGraph(), ArrayCommGraph()
+    ref_b, arr_b = CommGraph(), ArrayCommGraph()
+    _apply_graph(ref_a, ops_a)
+    _apply_graph(arr_a, ops_a)
+    _apply_graph(ref_b, ops_b)
+    _apply_graph(arr_b, ops_b)
+    ref_a.merge(ref_b)
+    arr_a.merge(arr_b)
+    _assert_graph_equal(ref_a, arr_a)

@@ -65,15 +65,35 @@ def test_nonreentrant_allows_start_when_idle():
     assert act.next_eligible() is item
 
 
-def test_comm_counters_accumulate_and_drain():
-    act = make_activation()
-    peer = ActorId("b", 2)
-    act.record_communication(peer)
-    act.record_communication(peer, 2.5)
-    assert act.comm_counters[peer] == 3.5
-    drained = act.drain_counters()
-    assert drained == {peer: 3.5}
-    assert act.comm_counters == {}
+def test_comm_table_accumulates_and_drains():
+    from repro.actor.commtable import CommTable
+
+    table = CommTable()
+    src, peer = ActorId("a", 1), ActorId("b", 2)
+    table.record(src, peer)
+    table.record(src, peer, 2.5)
+    table.record(peer, src, 1.0)
+    assert table.weight(src, peer) == 3.5
+    assert table.weight(peer, src) == 1.0
+    assert len(table) == 2
+    drained = dict(table.drain())
+    assert drained == {(src, peer): 3.5, (peer, src): 1.0}
+    assert len(table) == 0
+    assert table.weight(src, peer) == 0.0
+
+
+def test_comm_table_iterates_in_insertion_order():
+    from repro.actor.commtable import CommTable
+
+    table = CommTable()
+    ids = [ActorId("t", i) for i in range(6)]
+    table.record(ids[4], ids[1])
+    table.record(ids[0], ids[5])
+    table.record(ids[4], ids[1], 2.0)  # in-place, keeps original position
+    table.record(ids[2], ids[3])
+    assert [pair for pair, _ in table.items()] == [
+        (ids[4], ids[1]), (ids[0], ids[5]), (ids[2], ids[3]),
+    ]
 
 
 def test_quiescence_conditions():

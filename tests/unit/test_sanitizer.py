@@ -181,5 +181,5 @@ def test_salted_hash_is_identity_preserving():
         assert len({a, b}) == 1
     finally:
         ids.set_hash_salt(0)
-    # Salt 0 is bit-identical to the NamedTuple default.
-    assert hash(ActorId("game", 3)) == tuple.__hash__(ActorId("game", 3))
+    # Salt 0 is bit-identical to the plain (type, key) tuple hash.
+    assert hash(ActorId("game", 3)) == hash(("game", 3))
