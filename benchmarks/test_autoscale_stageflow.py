@@ -1,0 +1,165 @@
+"""Elastic autoscaling study: Stageflow under a flash crowd.
+
+Two claims, measured on the route→enrich→transform inference pipeline
+(:mod:`repro.workloads.stageflow`) over :mod:`repro.pools` actor pools:
+
+1. **Autoscaling tracks demand at a fraction of the provisioned cost.**
+   A flash crowd (4x the base rate for 8 s) hits a 2-silo cluster; the
+   controller grows to the 6-silo ceiling, rides out the surge, and
+   drains back to 2.  The autoscaled run must re-converge — post-recovery
+   p99 within 2x of steady-state — while spending fewer silo-seconds
+   than the peak-provisioned fixed fleet that is the only way to get the
+   same post-surge latency without elasticity.  (The surge window itself
+   is reported honestly: an elastic cluster pays a transient the
+   peak-provisioned one does not — that is the cost side of the trade,
+   quantified rather than hidden.)
+
+2. **Load-aware routing beats oblivious round-robin on heterogeneous
+   capacity.**  Round-robin keeps feeding a silo that computes 3x
+   slower; the DPA-style policy sees the silo's reported worker-stage
+   occupancy + CPU pressure (and its own in-flight counts) and routes
+   around it.  On a *symmetric* bimodal mix DPA must still at least
+   match round-robin — load-awareness is not allowed to cost anything
+   when there is nothing to be aware of.
+
+Both runs are seeded and deterministic; numbers land in EXPERIMENTS.md.
+"""
+
+from repro.autoscale import AutoscaleConfig
+from repro.bench.harness import StageflowExperiment
+from repro.bench.reporting import render_table
+from repro.faults import FaultPlan
+from repro.workloads.stageflow import StageflowConfig
+
+SEED = 3
+SERVERS = 6
+PROCESSORS = 2
+BASE_RATE = 300.0
+
+WARMUP = 2.0
+FLASH_AT = 10.0
+FLASH_DURATION = 8.0
+SETTLE = 8.0
+POST = 10.0
+SURGE_END = FLASH_AT + FLASH_DURATION + SETTLE   # 26.0
+RUN_END = SURGE_END + POST                       # 36.0
+
+AUTOSCALE = dict(period=0.5, low=0.35, high=0.70, min_silos=2,
+                 initial_silos=2, cooldown=1.0, warmup=1.0)
+
+
+def _flash_run(autoscaled: bool):
+    exp = StageflowExperiment(
+        config=StageflowConfig(curve="flash", base_rate=BASE_RATE,
+                               flash_at=FLASH_AT,
+                               flash_duration=FLASH_DURATION,
+                               flash_multiplier=4.0),
+        autoscale=AutoscaleConfig(**AUTOSCALE) if autoscaled else None,
+        num_servers=SERVERS, processors=PROCESSORS, seed=SEED,
+        label="autoscaled" if autoscaled else f"fixed-{SERVERS}",
+    )
+    windows = {
+        "steady": exp.measure_window(WARMUP, FLASH_AT),
+        "surge": exp.measure_window(FLASH_AT, SURGE_END),
+        "post": exp.measure_window(SURGE_END, RUN_END),
+    }
+    return exp, windows
+
+
+def test_flash_crowd_autoscale_vs_fixed():
+    rows = []
+    results = {}
+    for autoscaled in (True, False):
+        exp, windows = _flash_run(autoscaled)
+        cost = exp.silo_seconds()
+        results[exp.label] = (exp, windows, cost)
+        for phase, r in windows.items():
+            rows.append([exp.label, phase, r.requests, r.median * 1e3,
+                         r.p99 * 1e3, 100 * r.cpu_utilization])
+        rows.append([exp.label, "silo-seconds", "", "", "", cost])
+
+    print()
+    print(render_table(
+        ["configuration", "window", "requests", "median ms", "p99 ms",
+         "CPU % / cost"],
+        rows,
+        title=f"flash crowd 4x for {FLASH_DURATION:g}s — autoscaled "
+              f"(2..{SERVERS} silos) vs peak-provisioned fixed-{SERVERS}",
+    ))
+
+    exp, auto, auto_cost = results["autoscaled"]
+    _, fixed, fixed_cost = results[f"fixed-{SERVERS}"]
+    ctrl = exp.controller
+
+    # The controller actually scaled: out during the surge, back after.
+    assert ctrl.grows >= 1, "flash crowd never triggered a grow plan"
+    assert ctrl.shrinks >= 1, "cluster never drained back after the surge"
+    assert ctrl.plans_committed == ctrl.plans_begun
+    assert ctrl.active == AUTOSCALE["min_silos"], (
+        f"did not return to the floor: {ctrl.active} silos active")
+
+    # Re-convergence: post-recovery latency within 2x of steady state.
+    assert auto["post"].p99 <= 2.0 * auto["steady"].p99, (
+        f"post p99 {auto['post'].p99 * 1e3:.1f}ms vs steady "
+        f"{auto['steady'].p99 * 1e3:.1f}ms")
+
+    # Elasticity pays: strictly fewer silo-seconds than peak provisioning.
+    assert auto_cost < fixed_cost, (
+        f"autoscaled cost {auto_cost:.1f} >= fixed {fixed_cost:.1f}")
+
+    # Sanity on the baseline: the fixed fleet absorbs the surge flat.
+    assert fixed["post"].p99 <= 2.0 * fixed["steady"].p99
+    print(f"\nautoscaled: {auto_cost:.1f} silo-seconds "
+          f"({100 * (1 - auto_cost / fixed_cost):.0f}% below fixed "
+          f"{fixed_cost:.1f}); post p99 {auto['post'].p99 * 1e3:.1f}ms vs "
+          f"steady {auto['steady'].p99 * 1e3:.1f}ms; surge transient "
+          f"{auto['surge'].p99 * 1e3:.0f}ms vs fixed "
+          f"{fixed['surge'].p99 * 1e3:.0f}ms")
+
+
+def _policy_run(policy: str, faults=None):
+    exp = StageflowExperiment(
+        config=StageflowConfig(curve="flat", base_rate=300.0,
+                               heavy_fraction=0.25, policy=policy),
+        autoscale=None, num_servers=2, processors=PROCESSORS,
+        seed=SEED, faults=faults, label=policy,
+    )
+    return exp.measure_window(2.0, 17.0)
+
+
+def test_dpa_beats_round_robin_on_slow_silo():
+    """Heterogeneous capacity: one of two silos computes 3x slower for
+    10 s.  Round-robin keeps sending it half the traffic; DPA routes
+    around it on the reported contention signal."""
+    rows = []
+    results = {}
+    for policy in ("round_robin", "dpa"):
+        r = _policy_run(
+            policy,
+            faults=FaultPlan().slow_silo(4.0, 14.0, server=1, factor=3.0))
+        results[policy] = r
+        rows.append([policy, r.requests, r.median * 1e3, r.p99 * 1e3,
+                     100 * r.cpu_utilization])
+
+    print()
+    print(render_table(
+        ["policy", "requests", "median ms", "p99 ms", "CPU %"],
+        rows,
+        title="silo 1 of 2 slowed 3x during [4, 14) — 25% heavy mix",
+    ))
+    rr, dpa = results["round_robin"], results["dpa"]
+    assert dpa.p99 < 0.5 * rr.p99, (
+        f"dpa p99 {dpa.p99 * 1e3:.1f}ms not decisively better than "
+        f"round_robin {rr.p99 * 1e3:.1f}ms")
+    assert dpa.median < rr.median
+
+
+def test_dpa_matches_round_robin_on_symmetric_cluster():
+    """No asymmetry to exploit: load-awareness must cost ~nothing."""
+    rr = _policy_run("round_robin")
+    dpa = _policy_run("dpa")
+    print(f"\nsymmetric: rr p50={rr.median * 1e3:.1f} "
+          f"p99={rr.p99 * 1e3:.1f} | dpa p50={dpa.median * 1e3:.1f} "
+          f"p99={dpa.p99 * 1e3:.1f}")
+    assert dpa.median <= 1.25 * rr.median
+    assert dpa.p99 <= 1.25 * rr.p99

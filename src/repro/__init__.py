@@ -15,7 +15,13 @@ The package splits into the paper's contribution and its substrates:
 * :mod:`repro.graph` — communication graphs, Space-Saving edge sampling,
   generators, and the comparator partitioners (multilevel, Ja-Be-Ja).
 * :mod:`repro.queueing` — M/M/1 / Jackson-network formulas.
-* :mod:`repro.workloads` — Halo Presence, Heartbeat, and the counter app.
+* :mod:`repro.workloads` — Halo Presence, Heartbeat, the counter app,
+  and Stageflow (an inference pipeline over actor pools).
+* :mod:`repro.pools` — data-parallel actor pools: a router actor
+  fronting N worker replicas with pluggable balancing policies.
+* :mod:`repro.autoscale` — the elastic grow/shrink controller that adds
+  or drains silos, resizes pools, and triggers ActOp rebalancing as one
+  integrated plan; ``repro autoscale`` on the CLI.
 * :mod:`repro.bench` — recorders and harness utilities.
 * :mod:`repro.obs` — observability: causal tracing across the whole
   stack, structured runtime events, Chrome-trace/JSONL export, and
@@ -46,6 +52,7 @@ See ``examples/quickstart.py`` for a complete runnable walk-through.
 """
 
 from .analysis import LintReport, Sanitizer, lint_paths
+from .autoscale import AutoscaleConfig, AutoscaleController
 from .actor import (
     Actor,
     ActorError,
@@ -95,6 +102,7 @@ from .obs import (
     Tracer,
     chrome_trace_document,
 )
+from .pools import ActorPool, DpaPolicy, RouterActor, make_policy
 from .seda import Stage, StagedServer, StageEvent, StageStats, StatsWindow
 from .sim import Simulator
 
@@ -107,13 +115,17 @@ __all__ = [
     "ActorError",
     "ActorId",
     "ActorRef",
+    "ActorPool",
     "ActorRuntime",
     "AdmissionConfig",
     "All",
+    "AutoscaleConfig",
+    "AutoscaleController",
     "Call",
     "CallTimeout",
     "Cluster",
     "ClusterConfig",
+    "DpaPolicy",
     "EventLog",
     "FaultInjector",
     "FaultPlan",
@@ -129,6 +141,7 @@ __all__ = [
     "RequestShed",
     "ResilienceConfig",
     "RetryPolicy",
+    "RouterActor",
     "Sanitizer",
     "SerializationModel",
     "Simulator",
@@ -149,6 +162,7 @@ __all__ = [
     "chrome_trace_document",
     "idempotent",
     "lint_paths",
+    "make_policy",
     "percentile",
     "__version__",
 ]

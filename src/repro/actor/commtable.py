@@ -30,8 +30,8 @@ from .ids import ActorId
 __all__ = ["CommTable"]
 
 # seq numbers are dense interning indices; two of them fit a single
-# machine word for any population this process can physically hold
-# (2^32 interned ids would exhaust memory long before the pack wraps).
+# machine word.  ActorId.__new__ enforces seq < 2^32 at intern time, so
+# the pack below can never alias two distinct edges.
 _SHIFT = 32
 
 

@@ -27,6 +27,13 @@ __all__ = ["ActorId", "ActorRef", "set_hash_salt"]
 # run whose result changes under salt provably iterates one somewhere.
 _HASH_SALT = 0
 
+# CommTable packs an edge as (src.seq << 32) | dst.seq — one machine
+# word per edge.  The pack silently aliases distinct edges if a seq ever
+# reaches 2^32, so interning refuses to hand out a seq that wide instead
+# of corrupting communication graphs (and with them, migration
+# decisions) at some far-away fold.
+_MAX_SEQ = (1 << 32) - 1
+
 
 def set_hash_salt(salt: int) -> None:
     """Perturb (salt != 0) or restore (salt == 0) ActorId hashing.
@@ -59,10 +66,18 @@ class ActorId:
         cached = cls._intern.get(pair)
         if cached is not None:
             return cached
+        seq = len(cls._intern)
+        if seq > _MAX_SEQ:
+            raise OverflowError(
+                f"ActorId intern space exhausted: id #{seq} for "
+                f"({actor_type!r}, {key!r}) does not fit the 32-bit seq "
+                "field that CommTable packs into (src.seq << 32) | dst.seq; "
+                "a wider seq would silently alias communication edges"
+            )
         self = object.__new__(cls)
         self.actor_type = actor_type
         self.key = key
-        self.seq = len(cls._intern)
+        self.seq = seq
         self._hash = hash(pair)
         cls._intern[pair] = self
         return self

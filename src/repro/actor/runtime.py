@@ -22,7 +22,7 @@ from typing import Any, Callable, Hashable, Optional, Type
 
 from ..bench.metrics import HistogramRecorder, LatencyRecorder
 from ..faults.resilience import AdmissionConfig, ResilienceConfig
-from ..obs.events import RetryEvent, ShedEvent
+from ..obs.events import RetryEvent, ShedEvent, SiloScaleEvent
 from ..sim.engine import Simulator
 from ..sim.network import Network
 from ..sim.rng import RngRegistry
@@ -203,6 +203,8 @@ class ActorRuntime:
         self.request_retries = 0
         self.late_responses = 0
         self.failovers = 0
+        self.silos_added = 0
+        self.silos_drained = 0
         self._client_hooks: dict[int, Callable[[float, Any], None]] = {}
         self._client_timers: dict[int, Any] = {}
         # call_id -> _ClientRequest (resilient) or None (fast path).
@@ -299,17 +301,120 @@ class ActorRuntime:
         self.silos[server].restart()
 
     def pick_live_server(self, preferred: Optional[int] = None) -> int:
-        """A live server, preferring the caller's own (used when placement
-        lands on a dead silo)."""
-        if preferred is not None and not self.silos[preferred].dead:
-            return preferred
-        live = [s.server_id for s in self.silos if not s.dead]
+        """A live, non-draining server, preferring the caller's own (used
+        when placement lands on a dead or draining silo)."""
+        if preferred is not None:
+            silo = self.silos[preferred]
+            if not (silo.dead or silo.draining):
+                return preferred
+        live = [s.server_id for s in self.silos if not (s.dead or s.draining)]
         if not live:
             raise RuntimeError("every silo in the cluster has failed")
         return live[self._gateway_rng.randrange(len(live))]
 
     def census(self) -> dict[int, int]:
         return self.directory.census()
+
+    # ------------------------------------------------------------------
+    # Elastic membership (repro.autoscale; also reachable from fault
+    # plans via AddSilo / DrainSilo — one action vocabulary)
+    # ------------------------------------------------------------------
+    @property
+    def active_servers(self) -> int:
+        """Silos currently accepting placement (live and not draining)."""
+        return sum(1 for s in self.silos if not (s.dead or s.draining))
+
+    def add_silo(self, server: Optional[int] = None) -> Optional[int]:
+        """Bring a parked or crashed silo back into service.
+
+        ``server=None`` picks the lowest-numbered dead silo.  Returns the
+        server id, or None when there is no parked capacity (or the named
+        silo is already live).  Capacity is fixed at construction
+        (``ClusterConfig.num_servers`` is the fleet ceiling); elasticity
+        is membership, not allocation — the Orleans model, where a silo
+        process joins or leaves a pre-provisioned cluster.
+        """
+        if server is None:
+            for silo in self.silos:
+                if silo.dead:
+                    server = silo.server_id
+                    break
+            else:
+                return None
+        silo = self.silos[server]
+        if not silo.dead:
+            return None
+        silo.restart()
+        self.silos_added += 1
+        obs = self.obs
+        if obs is not None:
+            obs.events.emit(SiloScaleEvent(
+                self.sim.now, server=server, action="add"))
+        return server
+
+    def drain_silo(self, server: int, poll: float = 0.25,
+                   on_complete: Optional[Callable[[int], None]] = None) -> bool:
+        """Gracefully remove one silo: the §4.3 migration path in bulk.
+
+        The silo immediately stops being a placement/gateway target (the
+        admission edge of the PR-3 shedding path: no *new* work is let
+        in), every hosted activation starts an opportunistic migration to
+        the remaining live silos (round-robin over server ids — the ActOp
+        rebalance kick that follows repairs locality), and a poll loop
+        decommissions the silo once it is empty and idle.  Returns False
+        if the silo is already dead or draining; ``on_complete(server)``
+        fires at decommission time.
+        """
+        silo = self.silos[server]
+        if silo.dead or silo.draining:
+            return False
+        recipients = [s.server_id for s in self.silos
+                      if not (s.dead or s.draining) and s.server_id != server]
+        if not recipients:
+            raise RuntimeError("cannot drain the last live silo")
+        silo.draining = True
+        obs = self.obs
+        if obs is not None:
+            obs.events.emit(SiloScaleEvent(
+                self.sim.now, server=server, action="drain_begin",
+                activations=len(silo.activations)))
+        self._migrate_off(silo, recipients)
+        self.sim.schedule(poll, self._drain_poll, server, poll, on_complete)
+        return True
+
+    def _migrate_off(self, silo: Silo, recipients: list[int]) -> None:
+        for i, actor_id in enumerate(list(silo.activations)):
+            activation = silo.activations.get(actor_id)
+            if activation is not None and not activation.deactivating:
+                silo.migrate(actor_id, recipients[i % len(recipients)])
+
+    def _drain_poll(self, server: int, poll: float,
+                    on_complete: Optional[Callable[[int], None]]) -> None:
+        silo = self.silos[server]
+        if silo.dead:
+            # Crashed (or already decommissioned) mid-drain: the silo is
+            # out of service either way, so the drain is complete.
+            if on_complete is not None:
+                on_complete(server)
+            return
+        if not silo.quiesced:
+            recipients = [s.server_id for s in self.silos
+                          if not (s.dead or s.draining)]
+            if recipients:
+                # Re-kick stragglers: an activation can outlive the first
+                # sweep (e.g. it was mid-call-chain and a racing message
+                # re-drove it), and plain deactivations need a hint too.
+                self._migrate_off(silo, recipients)
+            self.sim.schedule(poll, self._drain_poll, server, poll, on_complete)
+            return
+        silo.decommission()
+        self.silos_drained += 1
+        obs = self.obs
+        if obs is not None:
+            obs.events.emit(SiloScaleEvent(
+                self.sim.now, server=server, action="drain_done"))
+        if on_complete is not None:
+            on_complete(server)
 
     # ------------------------------------------------------------------
     # Client traffic

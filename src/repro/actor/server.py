@@ -97,6 +97,10 @@ class Silo:
         self._pending: dict[int, tuple[_Continuation, int]] = {}
         self._call_timers: dict[int, Any] = {}
         self.dead = False
+        # Graceful scale-down (repro.autoscale): a draining silo keeps
+        # serving its hosted activations but stops being a placement /
+        # gateway target; once empty and idle it decommissions (dead).
+        self.draining = False
 
         # Monotone counters (samplers diff them per window).
         self.msgs_local = 0
@@ -182,10 +186,20 @@ class Silo:
                 target, self.server_id, self.runtime.num_servers
             )
             self.placements_new += 1
-        if self.runtime.silos[destination].dead:
-            # Membership view: never place onto a failed silo.
+        dest_silo = self.runtime.silos[destination]
+        if dest_silo.dead or dest_silo.draining:
+            # Membership view: never place onto a failed or draining
+            # silo.  Fold the chosen destination into the live set
+            # deterministically (no RNG draw) so placements stay uniform
+            # — under elastic membership most of the fleet can be parked,
+            # and redirecting to the caller would pile every re-placed
+            # actor onto the silos that happen to originate calls.
             dead = destination
-            destination = self.runtime.pick_live_server(preferred=self.server_id)
+            live = [s.server_id for s in self.runtime.silos
+                    if not (s.dead or s.draining)]
+            if not live:
+                raise RuntimeError("every silo in the cluster has failed")
+            destination = live[destination % len(live)]
             self.runtime.failovers += 1
             obs = self.runtime.obs
             if obs is not None:
@@ -662,6 +676,7 @@ class Silo:
         if self.dead:
             return
         self.dead = True
+        self.draining = False  # a crash preempts any graceful drain
         lost = len(self.activations)
         for actor_id in list(self.activations):
             self.runtime.directory.unregister(actor_id)
@@ -681,10 +696,52 @@ class Silo:
         if not self.dead:
             return
         self.dead = False
+        self.draining = False
         obs = self.runtime.obs
         if obs is not None:
             obs.events.emit(SiloLifecycleEvent(
                 self.sim.now, server=self.server_id, up=True))
+
+    # ------------------------------------------------------------------
+    # Graceful scale-down (repro.autoscale)
+    # ------------------------------------------------------------------
+    @property
+    def quiesced(self) -> bool:
+        """True when nothing is hosted, awaited, queued, or running here.
+
+        The drain poll waits for this before decommissioning, so no
+        in-flight turn segment or queued response is dropped on the
+        floor the way a crash drops them.
+        """
+        if self.activations or self._pending:
+            return False
+        for stage in self.server.stages.values():
+            if stage.queue_length or stage.busy_threads:
+                return False
+        return True
+
+    def decommission(self) -> None:
+        """Leave service after a graceful drain.
+
+        Unlike :meth:`fail`, nothing is lost: the silo is already empty
+        and idle, it simply stops accepting messages.  The same ``dead``
+        flag governs membership, so placement, gateways, and failover
+        treat a decommissioned silo exactly like a crashed one — and
+        :meth:`restart` (via ``ActorRuntime.add_silo``) brings it back.
+        """
+        if self.dead:
+            return
+        self.dead = True
+        self.draining = False
+        for timer in self._call_timers.values():
+            timer.cancel()
+        self._call_timers.clear()
+        self._pending.clear()
+        obs = self.runtime.obs
+        if obs is not None:
+            obs.events.emit(SiloLifecycleEvent(
+                self.sim.now, server=self.server_id, up=False,
+                activations_lost=0))
 
     # ------------------------------------------------------------------
     # Introspection

@@ -1,0 +1,10 @@
+"""Elastic autoscaling: grow/shrink the silo fleet under load.
+
+See :mod:`repro.autoscale.controller` for the control loop and
+:mod:`repro.autoscale.config` for the knobs.
+"""
+
+from .config import AutoscaleConfig
+from .controller import AutoscaleController
+
+__all__ = ["AutoscaleConfig", "AutoscaleController"]

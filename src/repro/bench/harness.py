@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..actor.runtime import ActorRuntime, ClusterConfig
+from ..autoscale.config import AutoscaleConfig
 from ..cluster import Cluster, build_cluster
 from ..core.actop import ActOp, ActOpConfig, ThreadControllerConfig
 from ..core.partitioning.coordinator import PartitioningConfig
@@ -31,6 +32,7 @@ from ..faults.resilience import AdmissionConfig, ResilienceConfig
 from ..workloads.counter import CounterConfig, CounterWorkload
 from ..workloads.halo import HaloConfig, HaloWorkload
 from ..workloads.heartbeat import HeartbeatConfig, HeartbeatWorkload
+from ..workloads.stageflow import StageflowConfig, StageflowWorkload
 from .sampler import ClusterSampler
 
 __all__ = [
@@ -38,6 +40,7 @@ __all__ = [
     "HaloExperiment",
     "HeartbeatExperiment",
     "CounterExperiment",
+    "StageflowExperiment",
     "HALO_RATE_FULL",
     "halo_partitioning_config",
     "halo_thread_config",
@@ -314,6 +317,75 @@ class HeartbeatExperiment(_ExperimentBase):
         self.workload.start()
         self.cluster.start()
         return self._measure(warmup, duration, cdf_points=cdf_points)
+
+
+class StageflowExperiment(_ExperimentBase):
+    """One Stageflow inference-pipeline run, fixed-fleet or autoscaled.
+
+    Unlike the single-window drivers this one is *phased*: a flash-crowd
+    or diurnal study measures several absolute windows over one run, so
+    callers :meth:`start` once and then call :meth:`measure_window` per
+    phase.  ``autoscale=AutoscaleConfig(...)`` arms the elastic
+    controller (reachable afterwards as ``self.controller``);
+    ``autoscale=None`` is the peak-provisioned fixed baseline.
+    """
+
+    def __init__(
+        self,
+        config: Optional[StageflowConfig] = None,
+        autoscale: Optional[AutoscaleConfig] = None,
+        num_servers: int = 6,
+        processors: int = 2,
+        seed: int = 3,
+        time_scale: float = 1.0,
+        resilience: Optional[ResilienceConfig] = None,
+        faults: Optional[FaultPlan] = None,
+        label: Optional[str] = None,
+    ):
+        cluster = build_cluster(
+            ClusterConfig(num_servers=num_servers, processors=processors,
+                          seed=seed, time_scale=time_scale),
+            resilience=resilience,
+            faults=faults,
+            autoscale=autoscale,
+        )
+        config = config or StageflowConfig()
+        mode = "autoscale" if autoscale is not None else "fixed"
+        super().__init__(
+            cluster.runtime, time_scale,
+            label or f"stageflow({config.curve}, {config.policy}, {mode})",
+        )
+        self.cluster: Cluster = cluster
+        self.controller = cluster.autoscale
+        self.injector: Optional[FaultInjector] = cluster.injector
+        self.num_servers = num_servers
+        # Construct before cluster.start(): pools must be registered
+        # when the controller derives its replicas-per-silo ratios.
+        self.workload = StageflowWorkload(cluster.runtime, config,
+                                          autoscale=cluster.autoscale)
+        self._started = False
+
+    def start(self) -> "StageflowExperiment":
+        """Arm the cluster (parks surplus silos under autoscale), then
+        deploy the pools over the resulting live set."""
+        if not self._started:
+            self._started = True
+            self.cluster.start()
+            self.workload.start()
+        return self
+
+    def measure_window(self, start: float, end: float) -> ExperimentResult:
+        """Run to absolute time ``start``, reset stats, measure to ``end``."""
+        self.start()
+        return self._measure(start, end - start)
+
+    def silo_seconds(self) -> float:
+        """Provisioned capacity so far: powered-silo-seconds (the study's
+        cost metric; the fixed baseline pays the full fleet throughout)."""
+        if self.controller is not None:
+            self.controller._account()
+            return self.controller.silo_seconds
+        return self.num_servers * self.runtime.sim.now
 
 
 class CounterExperiment(_ExperimentBase):

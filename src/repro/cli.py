@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven subcommands expose the main experiment drivers without writing
+Eight subcommands expose the main experiment drivers without writing
 any code:
 
 * ``halo``       — the cluster workload A/B (random vs ActOp), §6.1-style;
@@ -19,7 +19,14 @@ any code:
 * ``lint``       — the :mod:`repro.analysis` determinism / actor-hygiene
   static pass over the tree (non-zero exit on unwaived findings), with
   ``--sanitize`` adding a Halo slice under the runtime race sanitizer
-  and a salted-hash iteration-order probe.
+  and a salted-hash iteration-order probe;
+* ``autoscale``  — the Stageflow inference pipeline (:mod:`repro.pools`
+  actor pools) under a flash-crowd / diurnal arrival curve with the
+  :mod:`repro.autoscale` elastic controller growing and draining silos;
+  reports per-window latency + utilization, the controller's decision
+  log, and silo-seconds, and exits non-zero if the cluster does not
+  re-converge into the utilization band (``--fixed`` runs the
+  peak-provisioned baseline instead).
 
 Each prints a result table to stdout; a run that produced no usable
 result exits non-zero.  ``perf``, ``trace``, and ``faults`` share the
@@ -224,6 +231,53 @@ def build_parser() -> argparse.ArgumentParser:
                         help="enable both ActOp optimizers")
     faults.add_argument("--json", dest="json_path", metavar="PATH",
                         help="write the summary JSON here ('-' for stdout)")
+
+    auto = sub.add_parser(
+        "autoscale",
+        help="elastic scaling: the Stageflow pipeline under an arrival "
+             "curve with the grow/shrink controller")
+    auto.add_argument("--servers", type=int, default=6,
+                      help="fleet size — the controller's scale-out ceiling")
+    auto.add_argument("--processors", type=int, default=2,
+                      help="cores per silo (small on purpose: scaling "
+                          "decisions show at CI-sized rates)")
+    auto.add_argument("--initial", type=int, default=2,
+                      help="silos active at t=0 (the rest start parked)")
+    auto.add_argument("--min", dest="min_silos", type=int, default=2,
+                      help="scale-in floor")
+    auto.add_argument("--low", type=float, default=0.35,
+                      help="utilization band floor (shrink below this)")
+    auto.add_argument("--high", type=float, default=0.70,
+                      help="utilization band ceiling (grow above this)")
+    auto.add_argument("--period", type=float, default=0.5,
+                      help="controller measurement window, seconds")
+    auto.add_argument("--cooldown", type=float, default=1.0,
+                      help="minimum seconds between scaling plans")
+    auto.add_argument("--rate", type=float, default=300.0,
+                      help="steady-state arrival rate, requests/second")
+    auto.add_argument("--curve", choices=("flash", "diurnal", "flat"),
+                      default="flash")
+    auto.add_argument("--flash-at", type=float, default=10.0,
+                      help="flash crowd start, seconds")
+    auto.add_argument("--flash-duration", type=float, default=8.0)
+    auto.add_argument("--flash-multiplier", type=float, default=4.0)
+    auto.add_argument("--diurnal-period", type=float, default=60.0)
+    auto.add_argument("--settle", type=float, default=8.0,
+                      help="flash: seconds between the surge ending and "
+                           "the post-recovery window")
+    auto.add_argument("--warmup", type=float, default=2.0,
+                      help="seconds before the first measurement window")
+    auto.add_argument("--duration", type=float, default=10.0,
+                      help="post-recovery (or per-phase) window length")
+    auto.add_argument("--policy",
+                      choices=("round_robin", "least_outstanding", "dpa"),
+                      default="dpa", help="pool balancing policy")
+    auto.add_argument("--seed", type=int, default=3)
+    auto.add_argument("--fixed", action="store_true",
+                      help="baseline: no controller, all --servers silos "
+                           "active for the whole run")
+    auto.add_argument("--json", dest="json_path", metavar="PATH",
+                      help="write the summary JSON here ('-' for stdout)")
 
     lint = sub.add_parser(
         "lint",
@@ -665,6 +719,167 @@ def _run_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_autoscale(args: argparse.Namespace) -> int:
+    import json
+
+    from .actor.runtime import ClusterConfig
+    from .autoscale import AutoscaleConfig
+    from .cluster import build_cluster
+    from .workloads.stageflow import StageflowConfig, StageflowWorkload
+
+    if args.fixed:
+        autoscale = None
+    else:
+        autoscale = AutoscaleConfig(
+            period=args.period, low=args.low, high=args.high,
+            min_silos=args.min_silos, max_silos=args.servers,
+            initial_silos=args.initial, cooldown=args.cooldown,
+            warmup=min(args.warmup, 2.0),
+        )
+    cluster = build_cluster(
+        ClusterConfig(num_servers=args.servers, processors=args.processors,
+                      seed=args.seed),
+        autoscale=autoscale,
+    )
+    rt = cluster.runtime
+    workload = StageflowWorkload(
+        rt,
+        StageflowConfig(policy=args.policy, base_rate=args.rate,
+                        curve=args.curve, flash_at=args.flash_at,
+                        flash_duration=args.flash_duration,
+                        flash_multiplier=args.flash_multiplier,
+                        diurnal_period=args.diurnal_period),
+        autoscale=cluster.autoscale,
+    )
+    # start() order matters: the controller parks the surplus silos
+    # before the pools deploy their replicas over the live set.
+    cluster.start()
+    workload.start()
+
+    # Timeline.  flash: steady | surge+recovery | post; other curves:
+    # three equal windows.
+    if args.curve == "flash":
+        surge_end = args.flash_at + args.flash_duration + args.settle
+        bounds = [(f"steady [{args.warmup:g}, {args.flash_at:g})",
+                   args.flash_at),
+                  (f"surge+recovery [{args.flash_at:g}, {surge_end:g})",
+                   surge_end),
+                  (f"post [{surge_end:g}, {surge_end + args.duration:g})",
+                   surge_end + args.duration)]
+    else:
+        bounds = [(f"window {i + 1}", args.warmup + (i + 1) * args.duration)
+                  for i in range(3)]
+
+    rt.run(until=args.warmup)
+    busy_snapshot = {"busy": rt.cpu_busy_snapshot(), "t": rt.sim.now}
+
+    def measure(until: float) -> dict:
+        rt.reset_latency_stats()
+        completed0, failed0 = workload.completed, workload.failed
+        rt.run(until=until)
+        live = [(silo, before) for silo, before
+                in zip(rt.silos, busy_snapshot["busy"]) if not silo.dead]
+        util = (sum(s.server.cpu.utilization(b, busy_snapshot["t"])
+                    for s, b in live) / len(live)) if live else 0.0
+        busy_snapshot["busy"] = rt.cpu_busy_snapshot()
+        busy_snapshot["t"] = rt.sim.now
+        lat = rt.client_latency
+        return {
+            "requests": lat.count,
+            "failed": workload.failed - failed0,
+            "completed": workload.completed - completed0,
+            "median_ms": 1e3 * (lat.median if lat.count else 0.0),
+            "p99_ms": 1e3 * (lat.p99 if lat.count else 0.0),
+            "mean_utilization": util,
+            "active_silos": rt.active_servers,
+        }
+
+    windows = [(name, measure(until)) for name, until in bounds]
+    workload.stop()
+    until = bounds[-1][1]
+
+    ctrl = cluster.autoscale
+    if ctrl is not None:
+        ctrl.stop()
+        silo_seconds = ctrl.silo_seconds
+        # Re-convergence: over the final quarter of the run the
+        # controller's measured utilization must sit back inside the
+        # band (5% tolerance) — or below it with the fleet already at
+        # the scale-in floor, which is the band's best reachable point.
+        tail = [w for w in ctrl.windows if w[0] >= 0.75 * until]
+        tail_util = (sum(u for _, u, _ in tail) / len(tail)) if tail else 0.0
+        reconverged = bool(tail) and tail_util <= args.high + 0.05 and (
+            tail_util >= args.low - 0.05
+            or ctrl.active <= args.min_silos)
+    else:
+        silo_seconds = args.servers * until
+        tail_util = windows[-1][1]["mean_utilization"]
+        reconverged = None
+
+    summary = {
+        "schema": 1,
+        "workload": "stageflow",
+        "mode": "fixed" if args.fixed else "autoscale",
+        "seed": args.seed,
+        "servers": args.servers,
+        "processors": args.processors,
+        "policy": args.policy,
+        "curve": args.curve,
+        "base_rate": args.rate,
+        "band": [args.low, args.high],
+        "windows": {name: w for name, w in windows},
+        "issued": workload.issued,
+        "completed": workload.completed,
+        "failed": workload.failed,
+        "silo_seconds": round(silo_seconds, 3),
+        "tail_utilization": round(tail_util, 4),
+        "reconverged": reconverged,
+        "controller": ctrl.summary() if ctrl is not None else None,
+    }
+
+    out = sys.stderr if args.json_path == "-" else sys.stdout
+    mode = "fixed baseline" if args.fixed else "autoscale"
+    print(render_table(
+        ["window", "requests", "failed", "median ms", "p99 ms",
+         "mean CPU %", "silos"],
+        [[name, w["requests"], w["failed"], w["median_ms"], w["p99_ms"],
+          100 * w["mean_utilization"], w["active_silos"]]
+         for name, w in windows],
+        title=f"stageflow {args.curve} — {mode}, {args.policy} policy, "
+              f"{args.rate:g} req/s base, fleet {args.servers}",
+    ), file=out)
+    if ctrl is not None:
+        for t, util, active, action in ctrl.decisions:
+            print(f"  t={t:6.2f}s  util={util:.2f}  -> {action:<10} "
+                  f"({active} active)", file=out)
+        verdict = "re-converged" if reconverged else "did NOT re-converge"
+        print(f"\n{ctrl.plans_committed}/{ctrl.plans_begun} plans committed, "
+              f"{ctrl.grows} grows / {ctrl.shrinks} shrinks; "
+              f"tail utilization {tail_util:.2f} {verdict} into "
+              f"[{args.low:.2f}, {args.high:.2f}]; "
+              f"{silo_seconds:.1f} silo-seconds", file=out)
+    else:
+        print(f"\nfixed fleet: {silo_seconds:.1f} silo-seconds", file=out)
+
+    if args.json_path == "-":
+        print(json.dumps(summary, indent=2))
+    elif args.json_path:
+        with open(args.json_path, "w") as fh:
+            json.dump(summary, fh, indent=2)
+            fh.write("\n")
+        print(f"summary JSON written to {args.json_path}", file=out)
+
+    if any(w["requests"] == 0 for _, w in windows):
+        print("autoscale failed: a measurement window completed no requests",
+              file=sys.stderr)
+        return 1
+    if reconverged is False:
+        print(f"autoscale failed: tail utilization {tail_util:.2f} outside "
+              f"[{args.low:.2f}, {args.high:.2f}]", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _sanitizer_slice(requests: int, seed: int) -> dict:
     """Drive a Halo slice with the sanitizer armed + the order probe."""
     import hashlib
@@ -943,6 +1158,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_trace(args)
     if args.command == "faults":
         return _run_faults(args)
+    if args.command == "autoscale":
+        return _run_autoscale(args)
     if args.command == "lint":
         return _run_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")

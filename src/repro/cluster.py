@@ -36,6 +36,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from .actor.runtime import ActorRuntime, ClusterConfig
+from .autoscale.config import AutoscaleConfig
+from .autoscale.controller import AutoscaleController
 from .core.actop import ActOp, ActOpConfig
 from .faults.injector import FaultInjector
 from .faults.plan import FaultPlan
@@ -47,20 +49,23 @@ __all__ = ["Cluster", "build_cluster"]
 
 @dataclass
 class Cluster:
-    """A composed cluster: runtime + optional optimizer + fault injector.
+    """A composed cluster: runtime + optional optimizer + fault injector
+    + optional autoscaler.
 
-    The runtime is always present; ``actop`` and ``injector`` are None
-    when their layer was not configured.  :meth:`start` arms whatever is
-    present (idempotence is the caller's concern — call it once).
+    The runtime is always present; ``actop``, ``injector``, and
+    ``autoscale`` are None when their layer was not configured.
+    :meth:`start` arms whatever is present (idempotence is the caller's
+    concern — call it once).
     """
 
     runtime: ActorRuntime
     actop: Optional[ActOp] = None
     injector: Optional[FaultInjector] = None
+    autoscale: Optional[AutoscaleController] = None
     _started: bool = False
 
     def start(self) -> "Cluster":
-        """Arm the optimizer and the fault plan (once)."""
+        """Arm the optimizer, the fault plan, and the autoscaler (once)."""
         if self._started:
             raise RuntimeError("Cluster.start() called twice")
         self._started = True
@@ -68,6 +73,8 @@ class Cluster:
             self.actop.start()
         if self.injector is not None:
             self.injector.start()
+        if self.autoscale is not None:
+            self.autoscale.start()
         return self
 
     def run(self, until: Optional[float] = None) -> None:
@@ -92,9 +99,10 @@ def build_cluster(
     actop: Optional[ActOpConfig] = None,
     faults: Optional[FaultPlan] = None,
     *,
+    autoscale: Optional[AutoscaleConfig] = None,
     sim: Optional[Simulator] = None,
 ) -> Cluster:
-    """Compose a cluster from the four config layers.
+    """Compose a cluster from the five config layers.
 
     Args:
         cluster: machine configuration (defaults to the paper's testbed).
@@ -103,11 +111,16 @@ def build_cluster(
         actop: optimizer configuration; None or a disabled config builds
             no optimizer.
         faults: fault plan; None or an empty plan installs nothing.
+        autoscale: elastic-scaling configuration; None builds no
+            controller (the run is bit-identical to earlier builds).
+            When both actop and autoscale are configured, scaling plans
+            trigger ActOp rebalancing rounds.
         sim: an existing simulator to share (tests compose several
             drivers on one clock).
 
     Returns a :class:`Cluster`; call :meth:`Cluster.start` (or just
-    :meth:`Cluster.run`) to arm the optimizer and fault plan.
+    :meth:`Cluster.run`) to arm the optimizer, fault plan, and
+    autoscaler.
     """
     runtime = ActorRuntime(cluster or ClusterConfig(), sim=sim,
                            resilience=resilience)
@@ -115,4 +128,7 @@ def build_cluster(
                  if actop is not None and actop.enabled else None)
     injector = (FaultInjector(runtime, faults)
                 if faults is not None and not faults.empty else None)
-    return Cluster(runtime=runtime, actop=optimizer, injector=injector)
+    controller = (AutoscaleController(runtime, autoscale, actop=optimizer)
+                  if autoscale is not None else None)
+    return Cluster(runtime=runtime, actop=optimizer, injector=injector,
+                   autoscale=controller)

@@ -18,7 +18,9 @@ loaded this package.
 
 from .injector import FaultInjector, LinkFaultModel
 from .plan import (
+    AddSilo,
     DirectoryStaleness,
+    DrainSilo,
     FaultAction,
     FaultPlan,
     LinkDegradation,
@@ -34,6 +36,8 @@ __all__ = [
     "FaultAction",
     "SiloCrash",
     "SiloRestart",
+    "AddSilo",
+    "DrainSilo",
     "NetworkPartition",
     "LinkDegradation",
     "SlowSilo",

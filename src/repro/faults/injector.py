@@ -27,7 +27,9 @@ from typing import Any, Callable, Optional
 
 from ..obs.events import FaultInjectionEvent
 from .plan import (
+    AddSilo,
     DirectoryStaleness,
+    DrainSilo,
     FaultPlan,
     LinkDegradation,
     NetworkPartition,
@@ -156,6 +158,10 @@ class FaultInjector:
             runtime.fail_silo(action.server)
         elif isinstance(action, SiloRestart):
             runtime.restart_silo(action.server)
+        elif isinstance(action, AddSilo):
+            runtime.add_silo(action.server)
+        elif isinstance(action, DrainSilo):
+            runtime.drain_silo(action.server)
         elif isinstance(action, SlowSilo):
             runtime.silos[action.server].server.cpu.throttle = action.factor
         elif isinstance(action, (NetworkPartition, LinkDegradation)):

@@ -38,10 +38,13 @@ from .events import (
     FaultInjectionEvent,
     MigrationEvent,
     PartitionRoundEvent,
+    PoolResizeEvent,
     RetryEvent,
+    ScalePlanEvent,
     RuntimeEvent,
     ShedEvent,
     SiloLifecycleEvent,
+    SiloScaleEvent,
     ThreadAllocationEvent,
 )
 from .export import (
@@ -73,6 +76,9 @@ __all__ = [
     "RetryEvent",
     "ShedEvent",
     "FailoverEvent",
+    "PoolResizeEvent",
+    "SiloScaleEvent",
+    "ScalePlanEvent",
     "EventLog",
     # export
     "CLIENT_PID",

@@ -1,0 +1,26 @@
+"""Data-parallel actor pools (router + replicated workers).
+
+See :mod:`repro.pools.router` for the ensemble and
+:mod:`repro.pools.policy` for the balancing policies.
+"""
+
+from .policy import (
+    POLICIES,
+    BalancingPolicy,
+    DpaPolicy,
+    LeastOutstandingPolicy,
+    RoundRobinPolicy,
+    make_policy,
+)
+from .router import ActorPool, RouterActor
+
+__all__ = [
+    "BalancingPolicy",
+    "RoundRobinPolicy",
+    "LeastOutstandingPolicy",
+    "DpaPolicy",
+    "POLICIES",
+    "make_policy",
+    "RouterActor",
+    "ActorPool",
+]

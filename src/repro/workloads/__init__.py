@@ -1,5 +1,6 @@
-"""The paper's workloads: Halo Presence (§3/§6.1), Heartbeat (§6.2), and
-the counter micro-app (§3)."""
+"""The paper's workloads: Halo Presence (§3/§6.1), Heartbeat (§6.2), the
+counter micro-app (§3), and Stageflow (an inference pipeline over
+data-parallel actor pools, the autoscaling study's driver)."""
 
 from .counter import CounterActor, CounterConfig, CounterWorkload
 from .halo import GameActor, HaloConfig, HaloWorkload, PlayerActor
@@ -9,17 +10,31 @@ from .heartbeat import (
     HeartbeatWorkload,
     make_blocking_heartbeat,
 )
+from .stageflow import (
+    DEFAULT_STAGES,
+    PipelineActor,
+    StageflowConfig,
+    StageflowWorkload,
+    StageSpec,
+    StageWorkerActor,
+)
 
 __all__ = [
     "CounterActor",
     "CounterConfig",
     "CounterWorkload",
+    "DEFAULT_STAGES",
     "GameActor",
     "HaloConfig",
     "HaloWorkload",
     "HeartbeatActor",
     "HeartbeatConfig",
     "HeartbeatWorkload",
+    "PipelineActor",
     "PlayerActor",
+    "StageSpec",
+    "StageWorkerActor",
+    "StageflowConfig",
+    "StageflowWorkload",
     "make_blocking_heartbeat",
 ]

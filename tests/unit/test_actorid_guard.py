@@ -1,0 +1,51 @@
+"""The ActorId intern-space guard.
+
+CommTable packs a communication edge as ``(src.seq << 32) | dst.seq`` —
+one machine word per edge.  A seq at 2^32 would silently alias distinct
+edges (corrupting comm graphs and the migration decisions built on
+them), so interning must refuse to hand one out.  Exhausting the real
+intern space takes 2^32 allocations, so the test swaps in a dict whose
+``len`` reports the boundary instead.
+"""
+
+import pytest
+
+from repro.actor.ids import ActorId
+
+
+class _HugeDict(dict):
+    """Reports an intern population at the 32-bit boundary."""
+
+    def __init__(self, size):
+        super().__init__()
+        self._size = size
+
+    def __len__(self):
+        return self._size
+
+
+def test_seq_at_boundary_is_still_granted():
+    real = ActorId._intern
+    try:
+        ActorId._intern = _HugeDict((1 << 32) - 1)
+        aid = ActorId("guard-test", "last-one")
+        assert aid.seq == (1 << 32) - 1
+    finally:
+        ActorId._intern = real
+
+
+def test_seq_past_boundary_raises_instead_of_aliasing():
+    real = ActorId._intern
+    try:
+        ActorId._intern = _HugeDict(1 << 32)
+        with pytest.raises(OverflowError, match="intern space exhausted"):
+            ActorId("guard-test", "one-too-many")
+    finally:
+        ActorId._intern = real
+
+
+def test_interning_still_canonical():
+    a = ActorId("guard-test", "same")
+    b = ActorId("guard-test", "same")
+    assert a is b
+    assert a.seq == b.seq
