@@ -33,6 +33,10 @@ The package splits into the paper's contribution and its substrates:
 * :mod:`repro.analysis` — the hygiene toolchain: an AST lint pass over
   the tree's determinism/actor/API invariants and an opt-in runtime
   race sanitizer; ``repro lint`` on the CLI.
+* :mod:`repro.backend` — one actor API, two engines: the deterministic
+  simulator (``SimBackend``, the reference) and a real asyncio runtime
+  (``AsyncioBackend``: task-group silos, TCP transport, wall-clock
+  timers, supervision); select via ``build_cluster(backend=...)``.
 
 The package ships a ``py.typed`` marker: the inline annotations are the
 public typing surface.
@@ -53,8 +57,16 @@ See ``examples/quickstart.py`` for a complete runnable walk-through.
 
 from .analysis import LintReport, Sanitizer, lint_paths
 from .autoscale import AutoscaleConfig, AutoscaleController
+from .backend import (
+    AsyncioBackend,
+    Backend,
+    BackendError,
+    SimBackend,
+    SupervisionPolicy,
+)
 from .actor import (
     Actor,
+    ActorCrashed,
     ActorError,
     ActorId,
     ActorRef,
@@ -112,6 +124,7 @@ __all__ = [
     "ActOp",
     "ActOpConfig",
     "Actor",
+    "ActorCrashed",
     "ActorError",
     "ActorId",
     "ActorRef",
@@ -119,8 +132,11 @@ __all__ = [
     "ActorRuntime",
     "AdmissionConfig",
     "All",
+    "AsyncioBackend",
     "AutoscaleConfig",
     "AutoscaleController",
+    "Backend",
+    "BackendError",
     "Call",
     "CallTimeout",
     "Cluster",
@@ -144,6 +160,7 @@ __all__ = [
     "RouterActor",
     "Sanitizer",
     "SerializationModel",
+    "SimBackend",
     "Simulator",
     "Sleep",
     "Span",
@@ -152,6 +169,7 @@ __all__ = [
     "StageStats",
     "StagedServer",
     "StatsWindow",
+    "SupervisionPolicy",
     "Tell",
     "ThreadAllocationProblem",
     "ThreadControllerConfig",

@@ -10,7 +10,7 @@ from .activation import Activation, WorkItem, WorkKind
 from .actor import DEFAULT_COMPUTE, DEFAULT_RESUME_COMPUTE, Actor, idempotent
 from .calls import All, Call, Sleep, Tell
 from .directory import Directory, LocationCache
-from .errors import ActorError, CallTimeout, RequestShed
+from .errors import ActorCrashed, ActorError, CallTimeout, RequestShed
 from .ids import ActorId, ActorRef
 from .messages import Message, MessageKind
 from .placement import (
@@ -27,6 +27,7 @@ from .server import STAGE_NAMES, Silo
 __all__ = [
     "Activation",
     "Actor",
+    "ActorCrashed",
     "ActorError",
     "ActorId",
     "ActorRef",

@@ -16,7 +16,7 @@ call to it."  Our runtime mirrors that contract:
 
 from __future__ import annotations
 
-__all__ = ["ActorError", "CallTimeout", "RequestShed"]
+__all__ = ["ActorCrashed", "ActorError", "CallTimeout", "RequestShed"]
 
 
 class ActorError(Exception):
@@ -39,6 +39,33 @@ class CallTimeout(ActorError):
         self.method = method
         self.timeout = timeout
 
+    def __reduce__(self):
+        # Exceptions with multi-arg __init__ need an explicit recipe to
+        # survive pickling (the asyncio backend ships error results over
+        # real sockets between silos).
+        return (CallTimeout, (self.target, self.method, self.timeout))
+
+
+class ActorCrashed(ActorError):
+    """An actor turn raised a non-:class:`ActorError` exception.
+
+    On the simulator this is a bug and crashes the run; on the asyncio
+    backend it is a *supervision* event: the policy decides the actor's
+    fate (restart / stop / escalate) and the caller's await point sees
+    this error as the call's result — crashes never vanish silently.
+    ``cause`` carries the original exception.
+    """
+
+    def __init__(self, actor_id, method: str, cause: BaseException):
+        super().__init__(
+            f"actor {actor_id} crashed in {method!r}: {cause!r}")
+        self.actor_id = actor_id
+        self.method = method
+        self.cause = cause
+
+    def __reduce__(self):
+        return (ActorCrashed, (self.actor_id, self.method, self.cause))
+
 
 class RequestShed(ActorError):
     """Admission control shed this request before it entered the cluster.
@@ -55,3 +82,6 @@ class RequestShed(ActorError):
         self.target = target
         self.method = method
         self.policy = policy
+
+    def __reduce__(self):
+        return (RequestShed, (self.target, self.method, self.policy))

@@ -1,0 +1,1057 @@
+"""``AsyncioBackend``: the real runtime — the substitution table in reverse.
+
+The same ``repro.actor`` programs that run on the discrete-event
+simulator run here over genuine concurrency:
+
+==========================  =============================================
+simulated primitive         asyncio primitive
+==========================  =============================================
+event-heap virtual time     the loop's wall clock (``loop.time()``)
+``sim.schedule(d, fn)``     ``loop.call_later(d, fn)``
+per-activation work queue   per-activation ``asyncio.Queue`` + pump task
+worker-stage turn segment   a coroutine driving the actor generator
+``yield Call(...)``         ``await`` on a pending-response future
+``yield All([...])``        concurrent awaits joined in call order
+``yield Sleep(d)``          ``await asyncio.sleep(d)``
+modeled network transit     TCP frames (length-prefixed pickle) or an
+                            in-process hop (``loop.call_soon``)
+modeled serialization cost  actual ``pickle`` bytes on the TCP path
+silo crash (model flag)     cancel the silo's tasks, close its sockets
+==========================  =============================================
+
+Silos are task groups on one loop by default (``transport="inproc"``);
+``transport="tcp"`` gives every silo a real listening socket on
+127.0.0.1 and routes every cross-silo message through the network stack,
+so a "remote" call pays genuine serialize → socket → deserialize.
+
+The public surface deliberately mirrors the slice of
+:class:`~repro.actor.runtime.ActorRuntime` that workloads and pools
+drive (``register_actor`` / ``ref`` / ``activate`` / ``locate`` /
+``client_request`` / ``silos`` / ``placement`` / ``rng`` / ``sim``), so
+``StageflowWorkload`` and ``ActorPool`` run **unmodified** on either
+engine — the acceptance bar of ROADMAP item 2.
+
+What the real runtime adds that the simulator cannot: supervision
+(:mod:`repro.backend.supervision`) — application exceptions inside a
+turn are crash events with restart/stop/escalate semantics instead of
+run-aborting bugs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import pickle
+import struct
+from typing import Any, Callable, Hashable, Optional
+
+from ..actor.actor import Actor
+from ..actor.calls import All, Call, Sleep, Tell
+from ..actor.directory import Directory
+from ..actor.errors import ActorCrashed, ActorError, CallTimeout
+from ..actor.ids import ActorId, ActorRef
+from ..actor.messages import Message, MessageKind, next_call_id
+from ..actor.placement import PlacementPolicy, RandomPlacement
+from ..actor.runtime import ClusterConfig
+from ..bench.metrics import LatencyRecorder
+from ..sim.rng import RngRegistry
+from .base import Backend, BackendError, Clock
+from .supervision import SupervisionPolicy, Supervisor
+
+__all__ = ["AsyncioBackend", "WallClock", "DEFAULT_CALL_TIMEOUT"]
+
+# Wall-clock seconds before an unanswered call/client request resolves
+# as CallTimeout.  The simulator can afford "no timeout" (a lost message
+# there is a modeling decision); on a real runtime a crashed callee must
+# never hang its caller forever.
+DEFAULT_CALL_TIMEOUT = 5.0
+
+_FRAME_HEADER = struct.Struct(">I")
+_TRANSPORTS = ("inproc", "tcp")
+
+
+class WallClock:
+    """Wall time rebased to 0 at backend construction.
+
+    Satisfies the :class:`~repro.backend.base.Clock` protocol with the
+    simulator's ``now``/``schedule``/``defer`` vocabulary so timer-based
+    code (fault plans, report loops) runs against either engine.
+    """
+
+    __slots__ = ("_loop", "_t0")
+
+    def __init__(self, loop: asyncio.AbstractEventLoop):
+        self._loop = loop
+        self._t0 = loop.time()
+
+    @property
+    def now(self) -> float:
+        return self._loop.time() - self._t0
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any):
+        return self._loop.call_later(max(0.0, delay), fn, *args)
+
+    # The simulator distinguishes cancellable timers (schedule) from
+    # fire-and-forget deferrals; on a real loop both are call_later.
+    defer = schedule
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"WallClock(now={self.now:.3f})"
+
+
+class AsyncioActivation:
+    """A live actor on one asyncio silo: instance + mailbox + pump."""
+
+    __slots__ = ("actor_id", "instance", "mailbox", "pump_task",
+                 "turn_tasks", "stopped", "restarts", "messages_handled",
+                 "open_turns")
+
+    def __init__(self, actor_id: ActorId, instance: Actor):
+        self.actor_id = actor_id
+        self.instance = instance
+        self.mailbox: asyncio.Queue = asyncio.Queue()
+        self.pump_task: Optional[asyncio.Task] = None
+        self.turn_tasks: set[asyncio.Task] = set()
+        self.stopped = False          # supervision verdict "stop"
+        self.restarts = 0             # supervision restarts of this actor
+        self.messages_handled = 0
+        self.open_turns = 0
+
+    @property
+    def idle(self) -> bool:
+        return self.mailbox.empty() and self.open_turns == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AsyncioActivation({self.actor_id})"
+
+
+class _WorkerShim:
+    """The worker-stage sampling surface pools expect from a silo.
+
+    The simulator exposes SEDA stage occupancy; here the analogues are
+    mailbox depth (queued turns) and open turns (running/suspended), with
+    ``processors`` standing in for the thread pool width.
+    """
+
+    __slots__ = ("_silo",)
+
+    def __init__(self, silo: "AsyncioSilo"):
+        self._silo = silo
+
+    @property
+    def queue_length(self) -> int:
+        return sum(a.mailbox.qsize() for a in self._silo.activations.values())
+
+    @property
+    def busy_threads(self) -> int:
+        return self._silo.open_turns
+
+    @property
+    def threads(self) -> int:
+        return self._silo.backend.config.processors
+
+
+class _CpuShim:
+    """CPU-pressure sampling surface (``silo.server.cpu`` in the sim)."""
+
+    __slots__ = ("_silo",)
+
+    def __init__(self, silo: "AsyncioSilo"):
+        self._silo = silo
+
+    @property
+    def run_queue_length(self) -> int:
+        return self._silo.open_turns
+
+    @property
+    def processors(self) -> int:
+        return self._silo.backend.config.processors
+
+
+class _ServerShim:
+    __slots__ = ("cpu",)
+
+    def __init__(self, silo: "AsyncioSilo"):
+        self.cpu = _CpuShim(silo)
+
+
+class AsyncioSilo:
+    """One silo: a group of activation tasks, plus an optional TCP port.
+
+    Mirrors the membership flags and counters of the simulated
+    :class:`~repro.actor.server.Silo` that workloads/pools/benches read
+    (``dead``/``draining``/``activations``/``msgs_*``/``worker``/
+    ``server``), so load sampling and deploy loops are backend-blind.
+    """
+
+    def __init__(self, backend: "AsyncioBackend", server_id: int):
+        self.backend = backend
+        self.server_id = server_id
+        self.dead = False
+        self.draining = False
+        self.activations: dict[ActorId, AsyncioActivation] = {}
+        # call_id -> future for calls *issued from* this silo's actors.
+        self.pending: dict[int, asyncio.Future] = {}
+        # destination silo -> (port, writer): cached outbound connections.
+        self.peers: dict[int, tuple[int, asyncio.StreamWriter]] = {}
+        self.tcp_server: Optional[asyncio.AbstractServer] = None
+        self.open_turns = 0
+        self.msgs_local = 0
+        self.msgs_remote = 0
+        self.client_requests = 0
+        self.worker = _WorkerShim(self)
+        self.server = _ServerShim(self)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_activations(self) -> int:
+        return len(self.activations)
+
+    @property
+    def idle(self) -> bool:
+        return (self.open_turns == 0 and not self.pending
+                and all(a.mailbox.empty() for a in self.activations.values()))
+
+    # ------------------------------------------------------------------
+    # Routing (issue path: counts local/remote like the sim's
+    # _dispatch_request; arrival path: receive()).
+    # ------------------------------------------------------------------
+    def _resolve_or_place(self, target: ActorId) -> int:
+        backend = self.backend
+        location = backend.directory.lookup(target)
+        if location is not None:
+            return location
+        if target in backend.storage or target in backend.discarded:
+            # §4.3: a previously-seen actor re-places at the caller.
+            destination = self.server_id
+        else:
+            destination = backend.placement.choose(
+                target, self.server_id, backend.num_servers)
+        dest_silo = backend.silos[destination]
+        if dest_silo.dead or dest_silo.draining:
+            live = [s.server_id for s in backend.silos
+                    if not (s.dead or s.draining)]
+            if not live:
+                raise RuntimeError("every silo in the cluster has failed")
+            destination = live[destination % len(live)]
+            backend.failovers += 1
+        backend.activate(target, destination)
+        return destination
+
+    def dispatch(self, message: Message) -> None:
+        """Issue a request from this silo toward its target."""
+        if self.dead:
+            return  # dropped on the floor; callers' timeouts handle it
+        if message.kind is MessageKind.CLIENT_REQUEST:
+            self.client_requests += 1
+        target = message.target
+        assert target is not None
+        destination = self._resolve_or_place(target)
+        if destination == self.server_id:
+            if message.kind is not MessageKind.CLIENT_REQUEST:
+                self.msgs_local += 1
+                self.backend.msgs_local += 1
+            self._enqueue(self.activations[target], message)
+        else:
+            if message.kind is not MessageKind.CLIENT_REQUEST:
+                self.msgs_remote += 1
+                self.backend.msgs_remote += 1
+            self.backend._transport_send(self, destination, message)
+
+    def receive(self, message: Message) -> None:
+        """A message arrives off the transport."""
+        if self.dead:
+            return
+        if message.kind is MessageKind.RESPONSE:
+            self.resolve_response(message)
+            return
+        activation = self.activations.get(message.target)
+        if activation is not None:
+            self._enqueue(activation, message)
+            return
+        # Migrated away (or crashed here): re-resolve and forward.
+        self.dispatch(message)
+
+    def _enqueue(self, activation: AsyncioActivation, message: Message) -> None:
+        activation.mailbox.put_nowait(message)
+
+    def resolve_response(self, response: Message) -> None:
+        future = self.pending.pop(response.call_id, None)
+        if future is None or future.done():
+            self.backend.late_responses += 1
+            return
+        future.set_result(response.result)
+
+    # ------------------------------------------------------------------
+    # Activation lifecycle
+    # ------------------------------------------------------------------
+    def host(self, actor_id: ActorId) -> AsyncioActivation:
+        if actor_id in self.activations:
+            raise ValueError(
+                f"{actor_id} is already active on silo {self.server_id}")
+        backend = self.backend
+        cls = backend.actor_types[actor_id.actor_type]
+        instance = cls()
+        instance._bind(actor_id, self.server_id)
+        state = backend.storage.get(actor_id)
+        if state is not None:
+            instance.restore_state(state)
+        activation = AsyncioActivation(actor_id, instance)
+        self.activations[actor_id] = activation
+        instance.on_activate()
+        activation.pump_task = backend._loop.create_task(
+            backend._pump(self, activation),
+            name=f"pump:{actor_id}")
+        return activation
+
+    def deactivate_actor(self, actor_id: ActorId,
+                         discard_state: bool = False) -> bool:
+        """Deactivate a quiescent actor (persisting state). Returns False
+        when the actor is not here or still has work in flight."""
+        activation = self.activations.get(actor_id)
+        if activation is None or not activation.idle:
+            return False
+        backend = self.backend
+        activation.instance.on_deactivate()
+        if discard_state:
+            backend.storage.pop(actor_id, None)
+            backend.discarded.add(actor_id)
+        else:
+            backend.storage[actor_id] = activation.instance.capture_state()
+        if activation.pump_task is not None:
+            activation.pump_task.cancel()
+        del self.activations[actor_id]
+        backend.directory.unregister(actor_id)
+        return True
+
+    # ------------------------------------------------------------------
+    # Failure / membership
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Crash: volatile state lost, tasks cancelled, sockets closed.
+
+        Actors hosted here re-activate elsewhere on their next call,
+        restored from last persisted state — the §2 contract, same as
+        the simulated silo."""
+        if self.dead:
+            return
+        self.dead = True
+        self.draining = False
+        backend = self.backend
+        for actor_id in list(self.activations):
+            backend.directory.unregister(actor_id)
+        current = None
+        try:
+            current = asyncio.current_task()
+        except RuntimeError:  # pragma: no cover - no running loop
+            pass
+        for activation in self.activations.values():
+            if (activation.pump_task is not None
+                    and activation.pump_task is not current):
+                activation.pump_task.cancel()
+            for task in list(activation.turn_tasks):
+                if task is not current:
+                    task.cancel()
+        self.activations.clear()
+        for future in self.pending.values():
+            if not future.done():
+                future.cancel()
+        self.pending.clear()
+        self._close_transport()
+
+    def restart(self) -> None:
+        """Bring a failed silo back (empty, ready to host again)."""
+        if not self.dead:
+            return
+        self.dead = False
+        self.draining = False
+        self.backend._reopen_transport(self)
+
+    def _close_transport(self) -> None:
+        for _, writer in self.peers.values():
+            writer.close()
+        self.peers.clear()
+        if self.tcp_server is not None:
+            self.tcp_server.close()
+            self.tcp_server = None
+        self.backend._ports.pop(self.server_id, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AsyncioSilo({self.server_id}, actors={len(self.activations)})"
+
+
+class AsyncioBackend(Backend):
+    """The real runtime: silos as asyncio task groups on one loop.
+
+    Args:
+        config: the shared :class:`~repro.actor.runtime.ClusterConfig`;
+            ``num_servers``, ``processors``, ``seed`` and ``time_scale``
+            apply here (the modeled-cost knobs — serialization tables,
+            network latency — are the simulator's and are ignored: real
+            pickling and real sockets charge themselves).
+        supervision: crash policy (default: restart with a budget of 3
+            per 30 s, then escalate).
+        transport: ``"inproc"`` (cross-silo hop = loop callback; the
+            fast default for tests) or ``"tcp"`` (every silo listens on
+            127.0.0.1 and cross-silo messages travel as length-prefixed
+            pickle frames over real sockets).
+        call_timeout: wall-clock seconds before an unanswered call or
+            client request fails with
+            :class:`~repro.actor.errors.CallTimeout`.
+    """
+
+    name = "asyncio"
+
+    def __init__(self, config: Optional[ClusterConfig] = None, *,
+                 supervision: Optional[SupervisionPolicy] = None,
+                 transport: str = "inproc",
+                 call_timeout: Optional[float] = DEFAULT_CALL_TIMEOUT):
+        self.config = config or ClusterConfig()
+        if self.config.num_servers < 1:
+            raise ValueError("need at least one server")
+        if transport not in _TRANSPORTS:
+            raise BackendError(
+                f"unknown transport {transport!r}; expected one of "
+                f"{_TRANSPORTS}")
+        self.transport = transport
+        self.call_timeout = call_timeout
+        self._loop = asyncio.new_event_loop()
+        self._clock = WallClock(self._loop)
+        self.rng_registry = RngRegistry(self.config.seed)
+        self.directory = Directory(self.config.num_servers)
+        self.placement: PlacementPolicy = RandomPlacement(self.rng_registry)
+        self.actor_types: dict[str, type] = {}
+        self.storage: dict[ActorId, dict[str, Any]] = {}
+        self.discarded: set[ActorId] = set()
+        self.obs = None  # observability attachment point (sim parity)
+        self.supervisor = Supervisor(supervision)
+        self.silos = [AsyncioSilo(self, i)
+                      for i in range(self.config.num_servers)]
+        self._gateway_rng = self.rng_registry.stream("client.gateway")
+        self._ports: dict[int, int] = {}
+        # call_id -> (t0, future, hook, timer) for external client calls.
+        self._client_pending: dict[int, tuple] = {}
+        self._started = False
+        self._closed = False
+
+        self.client_latency = LatencyRecorder(reservoir=200_000)
+        self.call_latency = LatencyRecorder(reservoir=200_000)
+        self.msgs_local = 0
+        self.msgs_remote = 0
+        self.requests_completed = 0
+        self.requests_timed_out = 0
+        self.late_responses = 0
+        self.failovers = 0
+        self.migrations_total = 0
+        self.actor_crashes = 0
+        self.silos_added = 0
+        self.silos_drained = 0
+
+    # ------------------------------------------------------------------
+    # Backend protocol
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> Clock:
+        return self._clock
+
+    @property
+    def sim(self) -> Clock:
+        """Runtime-facade alias: workload code schedules on ``rt.sim``."""
+        return self._clock
+
+    @property
+    def rng(self) -> RngRegistry:
+        return self.rng_registry
+
+    @property
+    def runtime(self) -> "AsyncioBackend":
+        return self
+
+    @property
+    def num_servers(self) -> int:
+        return self.config.num_servers
+
+    @property
+    def active_servers(self) -> int:
+        return sum(1 for s in self.silos if not (s.dead or s.draining))
+
+    def register_actor(self, actor_type: str, cls: type) -> None:
+        if not issubclass(cls, Actor):
+            raise TypeError(f"{cls!r} is not an Actor subclass")
+        if actor_type in self.actor_types:
+            raise ValueError(f"actor type {actor_type!r} already registered")
+        self.actor_types[actor_type] = cls
+
+    def ref(self, actor_type: str, key: Hashable) -> ActorRef:
+        if actor_type not in self.actor_types:
+            raise KeyError(f"unknown actor type {actor_type!r}")
+        return ActorRef(actor_type, key)
+
+    def spawn(self, ref: ActorRef, server: Optional[int] = None) -> int:
+        location = self.locate(ref.id)
+        if location is not None:
+            return location
+        if server is None:
+            server = self.placement.choose(ref.id, 0, self.num_servers)
+        destination = self.pick_live_server(server)
+        self.activate(ref.id, destination)
+        return destination
+
+    def send(self, ref: ActorRef, method: str, *args: Any,
+             size: int = 256) -> None:
+        gateway = self.silos[self.pick_live_server(
+            self._gateway_rng.randrange(self.num_servers))]
+        message = Message(
+            kind=MessageKind.ONEWAY,
+            target=ref.id,
+            method=method,
+            args=args,
+            size=size,
+            created_at=self._clock.now,
+        )
+        gateway.dispatch(message)
+
+    def call(self, ref: ActorRef, method: str, *args: Any,
+             size: int = 256, response_size: int = 256,
+             on_complete: Optional[Callable[[float, Any], None]] = None,
+             idempotent: bool = True) -> asyncio.Future:
+        return self.client_request(
+            ref, method, *args, size=size, response_size=response_size,
+            on_complete=on_complete, idempotent=idempotent)
+
+    # ------------------------------------------------------------------
+    # Runtime facade: activation management
+    # ------------------------------------------------------------------
+    def activate(self, actor_id: ActorId, server: int) -> None:
+        self.directory.register(actor_id, server)
+        self.silos[server].host(actor_id)
+
+    def locate(self, actor_id: ActorId) -> Optional[int]:
+        return self.directory.lookup(actor_id)
+
+    def deactivate(self, actor_id: ActorId, discard_state: bool = False) -> bool:
+        location = self.directory.lookup(actor_id)
+        if location is None:
+            return False
+        return self.silos[location].deactivate_actor(
+            actor_id, discard_state=discard_state)
+
+    def census(self) -> dict[int, int]:
+        return self.directory.census()
+
+    def pick_live_server(self, preferred: Optional[int] = None) -> int:
+        if preferred is not None:
+            silo = self.silos[preferred]
+            if not (silo.dead or silo.draining):
+                return preferred
+        live = [s.server_id for s in self.silos if not (s.dead or s.draining)]
+        if not live:
+            raise RuntimeError("every silo in the cluster has failed")
+        return live[self._gateway_rng.randrange(len(live))]
+
+    def remote_message_fraction(self) -> float:
+        total = self.msgs_local + self.msgs_remote
+        return self.msgs_remote / total if total else 0.0
+
+    @property
+    def inflight_requests(self) -> int:
+        return len(self._client_pending)
+
+    # ------------------------------------------------------------------
+    # Runtime facade: membership (fault plans / autoscale vocabulary)
+    # ------------------------------------------------------------------
+    def fail_silo(self, server: int) -> None:
+        self.silos[server].fail()
+
+    def restart_silo(self, server: int) -> None:
+        self.silos[server].restart()
+
+    def add_silo(self, server: Optional[int] = None) -> Optional[int]:
+        if server is None:
+            for silo in self.silos:
+                if silo.dead:
+                    server = silo.server_id
+                    break
+            else:
+                return None
+        silo = self.silos[server]
+        if not silo.dead:
+            return None
+        silo.restart()
+        self.silos_added += 1
+        return server
+
+    def drain_silo(self, server: int, poll: float = 0.05,
+                   on_complete: Optional[Callable[[int], None]] = None) -> bool:
+        silo = self.silos[server]
+        if silo.dead or silo.draining:
+            return False
+        others = [s for s in self.silos
+                  if not (s.dead or s.draining) and s.server_id != server]
+        if not others:
+            raise RuntimeError("cannot drain the last live silo")
+        silo.draining = True
+        self._clock.schedule(poll, self._drain_poll, server, poll, on_complete)
+        return True
+
+    def _drain_poll(self, server: int, poll: float,
+                    on_complete: Optional[Callable[[int], None]]) -> None:
+        silo = self.silos[server]
+        if silo.dead:
+            if on_complete is not None:
+                on_complete(server)
+            return
+        # Persist-and-evict every quiescent activation; the next call to
+        # each re-places it on a live silo (its state followed it out).
+        for actor_id in list(silo.activations):
+            if silo.deactivate_actor(actor_id):
+                self.migrations_total += 1
+        if not silo.activations and silo.open_turns == 0 and not silo.pending:
+            silo.dead = True
+            silo.draining = False
+            silo._close_transport()
+            self.silos_drained += 1
+            if on_complete is not None:
+                on_complete(server)
+            return
+        self._clock.schedule(poll, self._drain_poll, server, poll, on_complete)
+
+    # ------------------------------------------------------------------
+    # Client traffic
+    # ------------------------------------------------------------------
+    def client_request(
+        self,
+        ref: ActorRef,
+        method: str,
+        *args: Any,
+        size: int = 256,
+        response_size: int = 256,
+        on_complete: Optional[Callable[[float, Any], None]] = None,
+        idempotent: bool = True,
+    ) -> asyncio.Future:
+        """Issue one external request; returns a future for the result.
+
+        Mirrors the simulator's signature (``on_complete(latency,
+        result)``); additionally returns an ``asyncio.Future`` callers
+        may await inside the loop or drain via :meth:`flush`.
+        """
+        call_id = next_call_id()
+        future = self._loop.create_future()
+        timer = None
+        if self.call_timeout is not None:
+            timer = self._clock.schedule(
+                self.call_timeout, self._client_timed_out,
+                call_id, ref.id, method)
+        self._client_pending[call_id] = (self._clock.now, future,
+                                         on_complete, timer)
+        gateway = self.silos[self.pick_live_server(
+            self._gateway_rng.randrange(self.num_servers))]
+        message = Message(
+            kind=MessageKind.CLIENT_REQUEST,
+            target=ref.id,
+            method=method,
+            args=args,
+            size=size,
+            call_id=call_id,
+            created_at=self._clock.now,
+            response_size=response_size,
+        )
+        gateway.dispatch(message)
+        return future
+
+    def _complete_client(self, message: Message, result: Any) -> None:
+        entry = self._client_pending.pop(message.call_id, None)
+        if entry is None:
+            self.late_responses += 1
+            return
+        t0, future, hook, timer = entry
+        if timer is not None:
+            timer.cancel()
+        latency = self._clock.now - t0
+        self.client_latency.record(latency)
+        self.requests_completed += 1
+        if not future.done():
+            future.set_result(result)
+        if hook is not None:
+            hook(latency, result)
+
+    def _client_timed_out(self, call_id: int, target: ActorId,
+                          method: str) -> None:
+        entry = self._client_pending.pop(call_id, None)
+        if entry is None:
+            return  # already resolved; stale timer
+        t0, future, hook, _ = entry
+        self.requests_timed_out += 1
+        error = CallTimeout(target, method, self.call_timeout or 0.0)
+        if not future.done():
+            future.set_result(error)
+        if hook is not None:
+            hook(self._clock.now - t0, error)
+
+    # ------------------------------------------------------------------
+    # Turn execution: mailbox pump -> turn coroutine -> generator driver
+    # ------------------------------------------------------------------
+    async def _pump(self, silo: AsyncioSilo, activation: AsyncioActivation) -> None:
+        """One task per activation: pops the mailbox in FIFO order and
+        starts turns — concurrently for reentrant actors (the default),
+        strictly one-at-a-time otherwise (Orleans' turn contract)."""
+        try:
+            while True:
+                message = await activation.mailbox.get()
+                if activation.stopped:
+                    self._respond(silo, message, ActorError(
+                        f"actor {activation.actor_id} was stopped by its "
+                        f"supervisor"))
+                    continue
+                if type(activation.instance).REENTRANT:
+                    task = self._loop.create_task(
+                        self._turn(silo, activation, message),
+                        name=f"turn:{activation.actor_id}.{message.method}")
+                    activation.turn_tasks.add(task)
+                    task.add_done_callback(activation.turn_tasks.discard)
+                else:
+                    await self._turn(silo, activation, message)
+        except asyncio.CancelledError:
+            raise
+
+    async def _turn(self, silo: AsyncioSilo, activation: AsyncioActivation,
+                    message: Message) -> None:
+        activation.messages_handled += 1
+        activation.open_turns += 1
+        silo.open_turns += 1
+        try:
+            method = getattr(activation.instance, message.method, None)
+            if method is None:
+                result: Any = ActorError(
+                    f"actor {activation.actor_id} has no method "
+                    f"{message.method!r}")
+            else:
+                try:
+                    if inspect.isgeneratorfunction(method):
+                        result = await self._drive(
+                            silo, activation, method(*message.args))
+                    else:
+                        result = method(*message.args)
+                except ActorError as error:
+                    result = error
+                except asyncio.CancelledError:
+                    raise
+                except Exception as error:  # noqa: BLE001 — supervision seam
+                    result = self._actor_crashed(
+                        silo, activation, message, error)
+        finally:
+            activation.open_turns -= 1
+            silo.open_turns -= 1
+        self._respond(silo, message, result)
+
+    async def _drive(self, silo: AsyncioSilo, activation: AsyncioActivation,
+                     generator) -> Any:
+        """Interpret the generator-coroutine protocol — the same Call /
+        All / Tell / Sleep vocabulary the simulated turn executor runs,
+        with awaits where the simulator queues resumes."""
+        send_value: Any = None
+        throw = False
+        while True:
+            try:
+                if throw:
+                    throw = False
+                    yielded = generator.throw(send_value)
+                else:
+                    yielded = generator.send(send_value)
+            except StopIteration as stop:
+                return stop.value
+            if isinstance(yielded, Tell):
+                oneway = Message(
+                    kind=MessageKind.ONEWAY,
+                    target=yielded.target.id,
+                    method=yielded.method,
+                    args=yielded.args,
+                    size=yielded.size,
+                    sender=activation.actor_id,
+                    created_at=self._clock.now,
+                )
+                silo.dispatch(oneway)
+                send_value = None
+                continue
+            if isinstance(yielded, Sleep):
+                await asyncio.sleep(yielded.duration * self.config.time_scale)
+                send_value = None
+                continue
+            if isinstance(yielded, Call):
+                result = await self._issue_call(silo, activation, yielded)
+                if isinstance(result, ActorError):
+                    send_value, throw = result, True
+                else:
+                    send_value = result
+                continue
+            if isinstance(yielded, All):
+                results = await asyncio.gather(
+                    *(self._issue_call(silo, activation, call)
+                      for call in yielded.calls))
+                errors = [r for r in results if isinstance(r, ActorError)]
+                if errors:
+                    send_value, throw = errors[0], True  # first error wins
+                else:
+                    send_value = list(results)
+                continue
+            raise TypeError(
+                f"actor {activation.actor_id} yielded {yielded!r}; expected "
+                "Call, All, Sleep, or Tell")
+
+    async def _issue_call(self, silo: AsyncioSilo,
+                          activation: AsyncioActivation, call: Call) -> Any:
+        """One actor-to-actor call: dispatch, await the response future.
+        Never raises — errors (including timeouts) return as values for
+        the driver to throw at the yield point."""
+        call_id = next_call_id()
+        future = self._loop.create_future()
+        silo.pending[call_id] = future
+        message = Message(
+            kind=MessageKind.CALL,
+            target=call.target.id,
+            method=call.method,
+            args=call.args,
+            size=call.size,
+            call_id=call_id,
+            sender=activation.actor_id,
+            reply_to_server=silo.server_id,
+            created_at=self._clock.now,
+            response_size=call.response_size,
+        )
+        issued_at = self._clock.now
+        silo.dispatch(message)
+        timeout = (call.timeout if call.timeout is not None
+                   else self.call_timeout)
+        try:
+            if timeout is not None:
+                result = await asyncio.wait_for(future, timeout)
+            else:
+                result = await future
+        except (asyncio.TimeoutError, asyncio.CancelledError) as error:
+            silo.pending.pop(call_id, None)
+            if isinstance(error, asyncio.CancelledError) and silo.dead:
+                raise  # our own silo died under us: the turn is gone
+            if isinstance(error, asyncio.CancelledError) and not future.cancelled():
+                raise  # external cancellation (shutdown), not a timeout
+            return CallTimeout(call.target.id, call.method, timeout or 0.0)
+        self.call_latency.record(self._clock.now - issued_at)
+        return result
+
+    def _respond(self, silo: AsyncioSilo, message: Message, result: Any) -> None:
+        if message.kind is MessageKind.ONEWAY or silo.dead:
+            return
+        if message.kind is MessageKind.CLIENT_REQUEST:
+            self._complete_client(message, result)
+            return
+        response = message.make_response(
+            result, size=message.response_size, server_id=silo.server_id)
+        destination = message.reply_to_server
+        assert destination is not None
+        if destination == silo.server_id:
+            silo.msgs_local += 1
+            self.msgs_local += 1
+            silo.resolve_response(response)
+        else:
+            silo.msgs_remote += 1
+            self.msgs_remote += 1
+            self._transport_send(silo, destination, response)
+
+    # ------------------------------------------------------------------
+    # Supervision
+    # ------------------------------------------------------------------
+    def _actor_crashed(self, silo: AsyncioSilo, activation: AsyncioActivation,
+                       message: Message, error: BaseException) -> ActorCrashed:
+        self.actor_crashes += 1
+        decision = self.supervisor.decide(activation.actor_id, self._clock.now)
+        if decision == "restart":
+            self._restart_activation(silo, activation)
+        elif decision == "stop":
+            activation.stopped = True
+        else:  # escalate: the failure is the silo's
+            silo.fail()
+        return ActorCrashed(activation.actor_id, message.method, error)
+
+    def _restart_activation(self, silo: AsyncioSilo,
+                            activation: AsyncioActivation) -> None:
+        """Restart in place: fresh instance, last persisted state."""
+        cls = type(activation.instance)
+        instance = cls()
+        instance._bind(activation.actor_id, silo.server_id)
+        state = self.storage.get(activation.actor_id)
+        if state is not None:
+            instance.restore_state(state)
+        activation.instance = instance
+        activation.restarts += 1
+        instance.on_activate()
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _transport_send(self, silo: AsyncioSilo, destination: int,
+                        message: Message) -> None:
+        dest = self.silos[destination]
+        if self.transport == "inproc":
+            # A cross-silo hop is always asynchronous — never runs the
+            # receiver inside the sender's stack frame.
+            self._loop.call_soon(dest.receive, message)
+        else:
+            self._loop.create_task(
+                self._tcp_send(silo, destination, message),
+                name=f"send:{silo.server_id}->{destination}")
+
+    async def _tcp_send(self, silo: AsyncioSilo, destination: int,
+                        message: Message) -> None:
+        if silo.dead:
+            return
+        try:
+            writer = await self._peer_writer(silo, destination)
+            if writer is None:
+                return  # destination is down: dropped, like the sim
+            payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+            writer.write(_FRAME_HEADER.pack(len(payload)) + payload)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            # Connection died (peer crashed mid-send): message is lost;
+            # invalidate the cached writer so the next send reconnects.
+            silo.peers.pop(destination, None)
+
+    async def _peer_writer(self, silo: AsyncioSilo,
+                           destination: int) -> Optional[asyncio.StreamWriter]:
+        port = self._ports.get(destination)
+        if port is None:
+            return None
+        cached = silo.peers.get(destination)
+        if cached is not None:
+            cached_port, writer = cached
+            if cached_port == port and not writer.is_closing():
+                return writer
+            writer.close()
+            silo.peers.pop(destination, None)
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        silo.peers[destination] = (port, writer)
+        return writer
+
+    async def _serve_peer(self, silo: AsyncioSilo,
+                          reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                header = await reader.readexactly(_FRAME_HEADER.size)
+                (length,) = _FRAME_HEADER.unpack(header)
+                payload = await reader.readexactly(length)
+                message = pickle.loads(payload)
+                silo.receive(message)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            # Shutdown cancels reader tasks mid-readexactly; finishing
+            # normally here keeps streams' connection_made callback from
+            # re-raising the cancellation into the loop's exception
+            # handler (noise, not signal, during teardown).
+            pass
+        finally:
+            writer.close()
+
+    async def _open_server(self, silo: AsyncioSilo) -> None:
+        server = await asyncio.start_server(
+            lambda r, w: self._serve_peer(silo, r, w), "127.0.0.1", 0)
+        silo.tcp_server = server
+        self._ports[silo.server_id] = server.sockets[0].getsockname()[1]
+
+    def _reopen_transport(self, silo: AsyncioSilo) -> None:
+        if self.transport != "tcp" or not self._started:
+            return
+        if self._loop.is_running():
+            self._loop.create_task(self._open_server(silo))
+        else:
+            self._loop.run_until_complete(self._open_server(silo))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "AsyncioBackend":
+        if self._started:
+            return self
+        self._started = True
+        if self.transport == "tcp":
+            async def _open_all() -> None:
+                for silo in self.silos:
+                    if not silo.dead:
+                        await self._open_server(silo)
+            self._loop.run_until_complete(_open_all())
+        return self
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance the wall clock to ``until`` (seconds since backend
+        construction), or run to idle when ``until`` is None."""
+        if not self._started:
+            self.start()
+        if until is None:
+            self.run_until_idle()
+            return
+        remaining = until - self._clock.now
+        if remaining > 0:
+            self._loop.run_until_complete(asyncio.sleep(remaining))
+
+    def run_until_idle(self, timeout: float = 30.0) -> bool:
+        """Spin the loop until no client request is pending and every
+        silo is quiescent (or ``timeout`` wall seconds pass).  Returns
+        True when idleness was reached."""
+        if not self._started:
+            self.start()
+
+        async def _idle() -> bool:
+            deadline = self._loop.time() + timeout
+            settled = 0
+            while self._loop.time() < deadline:
+                if (not self._client_pending
+                        and all(s.idle or s.dead for s in self.silos)):
+                    # Two consecutive idle observations: transport tasks
+                    # (call_soon hops, tcp frames) get a chance to land.
+                    settled += 1
+                    if settled >= 2:
+                        return True
+                else:
+                    settled = 0
+                await asyncio.sleep(0.001)
+            return False
+
+        return self._loop.run_until_complete(_idle())
+
+    def flush(self, timeout: float = 30.0) -> None:
+        """Drive the loop until every currently-pending client request
+        has resolved (completed or timed out)."""
+        if not self._started:
+            self.start()
+        futures = [entry[1] for entry in self._client_pending.values()]
+        if not futures:
+            return
+        self._loop.run_until_complete(
+            asyncio.wait(futures, timeout=timeout))
+
+    def shutdown(self) -> None:
+        """Cancel every task, close every socket, close the loop."""
+        if self._closed:
+            return
+        self._closed = True
+
+        async def _close() -> None:
+            tasks = [t for t in asyncio.all_tasks(self._loop)
+                     if t is not asyncio.current_task()]
+            for task in tasks:
+                task.cancel()
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            for silo in self.silos:
+                silo._close_transport()
+
+        try:
+            if not self._loop.is_closed():
+                self._loop.run_until_complete(_close())
+        finally:
+            if not self._loop.is_closed():
+                self._loop.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"AsyncioBackend(servers={self.num_servers}, "
+                f"transport={self.transport!r}, t={self._clock.now:.3f})")

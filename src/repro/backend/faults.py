@@ -1,0 +1,74 @@
+"""Fault plans on the asyncio backend: the same vocabulary, real timers.
+
+One :class:`~repro.faults.plan.FaultPlan` drives both engines.  The
+crash/membership subset — :class:`SiloCrash`, :class:`SiloRestart`,
+:class:`AddSilo`, :class:`DrainSilo` — maps directly: the injector arms
+a wall-clock timer per action and calls the same ``fail_silo`` /
+``restart_silo`` / ``add_silo`` / ``drain_silo`` runtime verbs the
+simulated injector calls.
+
+The *modeled-network* subset (partitions, link degradation, slow silos,
+directory staleness) has no meaning over real sockets yet — those
+actions are rejected at **build** time with a
+:class:`~repro.backend.base.BackendError` naming the offending action,
+never silently skipped mid-run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..faults.plan import AddSilo, DrainSilo, FaultPlan, SiloCrash, SiloRestart
+from .base import BackendError
+
+__all__ = ["AsyncioFaultInjector", "SUPPORTED_ACTIONS"]
+
+SUPPORTED_ACTIONS = (SiloCrash, SiloRestart, AddSilo, DrainSilo)
+
+
+class AsyncioFaultInjector:
+    """Schedules a crash-vocabulary :class:`FaultPlan` on wall-clock time."""
+
+    def __init__(self, backend, plan: Optional[FaultPlan] = None):
+        self.backend = backend
+        self.plan = plan or FaultPlan()
+        for action in self.plan:
+            if not isinstance(action, SUPPORTED_ACTIONS):
+                supported = ", ".join(c.__name__ for c in SUPPORTED_ACTIONS)
+                raise BackendError(
+                    f"the asyncio backend cannot inject "
+                    f"{type(action).__name__} (its network/compute model "
+                    f"is real, not simulated); supported actions: "
+                    f"{supported}")
+        self.started = False
+        self.faults_started = 0
+
+    def start(self) -> "AsyncioFaultInjector":
+        """Arm the plan: one wall-clock timer per action, times relative
+        to the instant ``start()`` runs (the simulated injector's
+        contract)."""
+        if self.started:
+            raise RuntimeError("AsyncioFaultInjector.start() called twice")
+        self.started = True
+        base = self.backend.clock.now
+        for action in self.plan.actions:
+            self.backend.clock.schedule(
+                base + action.at - self.backend.clock.now,
+                self._begin, action)
+        return self
+
+    def _begin(self, action) -> None:
+        self.faults_started += 1
+        backend = self.backend
+        if isinstance(action, SiloCrash):
+            backend.fail_silo(action.server)
+        elif isinstance(action, SiloRestart):
+            backend.restart_silo(action.server)
+        elif isinstance(action, AddSilo):
+            backend.add_silo(action.server)
+        elif isinstance(action, DrainSilo):
+            backend.drain_silo(action.server)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"AsyncioFaultInjector(actions={len(self.plan)}, "
+                f"started={self.started})")

@@ -1,0 +1,104 @@
+"""``SimBackend``: the discrete-event engine behind the backend seam.
+
+A thin adapter — the :class:`~repro.actor.runtime.ActorRuntime` already
+*is* the reference implementation; this class only gives it the
+:class:`~repro.backend.base.Backend` shape so ``build_cluster`` can hand
+out one neutral handle for either engine.
+
+Neutrality invariant: constructing a ``SimBackend`` around a runtime
+performs **no RNG draws, schedules no events, and mutates no runtime
+state** — a seeded run through ``build_cluster(backend="sim")`` is
+bit-identical to one built before this class existed (pinned by
+``tests/integration/test_scale_digest.py``).  The ``spawn``/``send``
+seams draw from the runtime's existing streams only when actually
+called.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Optional
+
+from ..actor.ids import ActorId, ActorRef
+from ..actor.messages import Message, MessageKind
+from ..actor.runtime import ActorRuntime
+from .base import Backend, Clock
+
+__all__ = ["SimBackend"]
+
+
+class SimBackend(Backend):
+    """The simulator as a :class:`Backend` (the reference engine)."""
+
+    name = "sim"
+
+    def __init__(self, runtime: ActorRuntime):
+        self._runtime = runtime
+
+    # ------------------------------------------------------------------
+    # Registration and addressing
+    # ------------------------------------------------------------------
+    def register_actor(self, actor_type: str, cls: type) -> None:
+        self._runtime.register_actor(actor_type, cls)
+
+    def ref(self, actor_type: str, key: Hashable) -> ActorRef:
+        return self._runtime.ref(actor_type, key)
+
+    # ------------------------------------------------------------------
+    # The five seams
+    # ------------------------------------------------------------------
+    def spawn(self, ref: ActorRef, server: Optional[int] = None) -> int:
+        rt = self._runtime
+        location = rt.locate(ref.id)
+        if location is not None:
+            return location
+        if server is None:
+            server = rt.placement.choose(ref.id, 0, rt.num_servers)
+        destination = rt.pick_live_server(server)
+        rt.activate(ref.id, destination)
+        return destination
+
+    def send(self, ref: ActorRef, method: str, *args: Any,
+             size: int = 256) -> None:
+        rt = self._runtime
+        gateway = rt.silos[rt.pick_live_server(
+            rt._gateway_rng.randrange(rt.num_servers))]
+        message = Message(
+            kind=MessageKind.ONEWAY,
+            target=ref.id,
+            method=method,
+            args=args,
+            size=size,
+            created_at=rt.sim.now,
+        )
+        destination = gateway._resolve_or_place(ref.id)
+        rt.network.deliver(size, rt.silos[destination].deliver, message,
+                           dst=destination)
+
+    def call(self, ref: ActorRef, method: str, *args: Any,
+             size: int = 256, response_size: int = 256,
+             on_complete: Optional[Callable[[float, Any], None]] = None,
+             idempotent: bool = True) -> Any:
+        return self._runtime.client_request(
+            ref, method, *args, size=size, response_size=response_size,
+            on_complete=on_complete, idempotent=idempotent)
+
+    @property
+    def clock(self) -> Clock:
+        return self._runtime.sim
+
+    @property
+    def rng(self):
+        return self._runtime.rng
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def runtime(self) -> ActorRuntime:
+        return self._runtime
+
+    def run(self, until: Optional[float] = None) -> None:
+        self._runtime.run(until=until)
+
+    def locate(self, actor_id: ActorId) -> Optional[int]:
+        return self._runtime.locate(actor_id)

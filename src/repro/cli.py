@@ -72,6 +72,34 @@ def _scale_parent(players: int, servers: int, seed: int) -> argparse.ArgumentPar
     return parent
 
 
+def _backend_parent() -> argparse.ArgumentParser:
+    """The shared ``--backend`` flag (perf/trace/faults/autoscale).
+
+    Every experiment subcommand advertises the engine choice even where
+    only the simulator is implemented today — the unsupported combination
+    fails with one consistent, actionable message (see
+    :func:`_require_sim_backend`) instead of an unknown-flag error.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--backend", choices=("sim", "asyncio"),
+                        default="sim",
+                        help="engine: the deterministic simulator (default) "
+                             "or the real asyncio runtime")
+    return parent
+
+
+def _require_sim_backend(args: argparse.Namespace, command: str) -> Optional[int]:
+    """Return an exit code when ``--backend asyncio`` was asked of a
+    simulator-only subcommand, else None."""
+    if args.backend == "asyncio":
+        print(f"repro {command}: --backend asyncio is not supported here "
+              f"(this experiment needs the simulated network/optimizer "
+              f"layers); supported: repro perf --backend asyncio",
+              file=sys.stderr)
+        return 2
+    return None
+
+
 def _window_parent(warmup: Optional[float],
                    duration: float) -> argparse.ArgumentParser:
     parent = argparse.ArgumentParser(add_help=False)
@@ -135,7 +163,8 @@ def build_parser() -> argparse.ArgumentParser:
                     help="synchronous blocking seconds per beat")
     hb.add_argument("--seed", type=int, default=3)
 
-    perf = sub.add_parser("perf", help="simulation-core microbenchmarks")
+    perf = sub.add_parser("perf", help="simulation-core microbenchmarks",
+                          parents=[_backend_parent()])
     perf.add_argument("--smoke", action="store_true",
                       help="CI-sized quick run (seconds, not minutes)")
     perf.add_argument("--repeat", type=int, default=3,
@@ -167,12 +196,18 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--no-isolate", dest="isolate", action="store_false",
                       help="measure scaling points in-process instead of "
                            "one subprocess each (peak RSS then compounds)")
+    perf.add_argument("--pings", type=int, default=1000,
+                      help="asyncio backend: round trips to measure")
+    perf.add_argument("--transport", choices=("inproc", "tcp"),
+                      default="tcp",
+                      help="asyncio backend: inter-silo transport")
 
     trace = sub.add_parser(
         "trace",
         help="run a workload under causal tracing; export a Chrome trace",
         parents=[_scale_parent(players=200, servers=4, seed=1),
-                 _window_parent(warmup=5.0, duration=10.0)])
+                 _window_parent(warmup=5.0, duration=10.0),
+                 _backend_parent()])
     trace.add_argument("--workload", choices=("halo", "heartbeat", "counter"),
                        default="halo")
     trace.add_argument("--rate", type=float, default=None,
@@ -195,7 +230,8 @@ def build_parser() -> argparse.ArgumentParser:
         "faults",
         help="chaos run: Halo under a fault plan with client resilience",
         parents=[_scale_parent(players=1_000, servers=10, seed=1),
-                 _window_parent(warmup=20.0, duration=20.0)])
+                 _window_parent(warmup=20.0, duration=20.0),
+                 _backend_parent()])
     faults.add_argument("--load", type=float, default=0.7,
                         help="fraction of the 80%%-CPU operating point "
                              "(below saturation so recovery is attributable "
@@ -235,7 +271,8 @@ def build_parser() -> argparse.ArgumentParser:
     auto = sub.add_parser(
         "autoscale",
         help="elastic scaling: the Stageflow pipeline under an arrival "
-             "curve with the grow/shrink controller")
+             "curve with the grow/shrink controller",
+        parents=[_backend_parent()])
     auto.add_argument("--servers", type=int, default=6,
                       help="fleet size — the controller's scale-out ceiling")
     auto.add_argument("--processors", type=int, default=2,
@@ -458,6 +495,10 @@ def _run_partition(args: argparse.Namespace) -> int:
 def _run_trace(args: argparse.Namespace) -> int:
     import json
 
+    exit_code = _require_sim_backend(args, "trace")
+    if exit_code is not None:
+        return exit_code
+
     from .bench.harness import CounterExperiment
     from .obs import (
         Observability,
@@ -568,6 +609,10 @@ def _run_trace(args: argparse.Namespace) -> int:
 
 def _run_faults(args: argparse.Namespace) -> int:
     import json
+
+    exit_code = _require_sim_backend(args, "faults")
+    if exit_code is not None:
+        return exit_code
 
     from .faults import (
         AdmissionConfig,
@@ -721,6 +766,10 @@ def _run_faults(args: argparse.Namespace) -> int:
 
 def _run_autoscale(args: argparse.Namespace) -> int:
     import json
+
+    exit_code = _require_sim_backend(args, "autoscale")
+    if exit_code is not None:
+        return exit_code
 
     from .actor.runtime import ClusterConfig
     from .autoscale import AutoscaleConfig
@@ -1062,6 +1111,8 @@ def _run_waiver_audit(args: argparse.Namespace) -> int:
 def _run_perf(args: argparse.Namespace) -> int:
     from .bench import perf
 
+    if args.backend == "asyncio":
+        return _run_perf_asyncio(args)
     if args.scale_point or args.scaling:
         return _run_perf_scaling(args)
     try:
@@ -1091,6 +1142,38 @@ def _run_perf(args: argparse.Namespace) -> int:
     if args.profile_dir:
         print(f"cProfile stats in {args.profile_dir}/<benchmark>.pstats "
               f"(inspect with python -m pstats)")
+    return 0
+
+
+def _run_perf_asyncio(args: argparse.Namespace) -> int:
+    import json
+
+    from .backend.bench import ping_latency
+
+    if args.scaling or args.scale_point:
+        print("repro perf: --scaling is simulator-only; the asyncio "
+              "benchmark is the 2-silo ping-latency run", file=sys.stderr)
+        return 2
+    try:
+        doc = ping_latency(pings=args.pings, transport=args.transport)
+    except Exception as exc:  # failed run -> non-zero exit, not a traceback
+        print(f"asyncio ping bench failed: {exc}", file=sys.stderr)
+        return 1
+    table = (f"asyncio ping ({doc['transport']}, {doc['silos']} silos): "
+             f"{doc['completed']}/{doc['pings']} completed, "
+             f"mean {doc['mean_ms']:.3f} ms, p50 {doc['p50_ms']:.3f} ms, "
+             f"p99 {doc['p99_ms']:.3f} ms, "
+             f"{doc['throughput_rps']:,} req/s")
+    payload = json.dumps(doc, indent=2, sort_keys=True)
+    if args.json_path == "-":
+        print(table, file=sys.stderr)
+        print(payload)
+        return 0
+    print(table)
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            fh.write(payload + "\n")
+        print(f"\nJSON written to {args.json_path}")
     return 0
 
 

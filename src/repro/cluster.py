@@ -12,6 +12,10 @@ wiring.  The layered API separates the concerns:
 * :class:`~repro.core.actop.ActOpConfig` — the optimizer: partitioning
   and/or thread allocation.
 * :class:`~repro.faults.plan.FaultPlan` — scheduled chaos.
+* ``backend`` — which engine runs it all: the deterministic simulator
+  (``"sim"``, the reference implementation) or the real asyncio runtime
+  (``"asyncio"``: task-group silos, TCP transport, wall-clock time,
+  supervision) — ROADMAP item 2's substitution table in reverse.
 
 ::
 
@@ -25,50 +29,76 @@ wiring.  The layered API separates the concerns:
     cluster.start()
     cluster.run(until=60.0)
 
+    # Same program, real runtime:
+    cluster = build_cluster(ClusterConfig(num_servers=2), backend="asyncio",
+                            transport="tcp",
+                            supervision=SupervisionPolicy(max_restarts=3))
+
 Every layer defaults to "absent", and absent layers add nothing to the
-run — a cluster built with only a ``ClusterConfig`` is bit-identical to
-a bare ``ActorRuntime``.
+run — a sim cluster built with only a ``ClusterConfig`` is bit-identical
+to a bare ``ActorRuntime`` (and to pre-backend builds; the digest pins
+enforce it).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Optional
 
 from .actor.runtime import ActorRuntime, ClusterConfig
 from .autoscale.config import AutoscaleConfig
 from .autoscale.controller import AutoscaleController
+from .backend.asyncio_backend import DEFAULT_CALL_TIMEOUT, AsyncioBackend
+from .backend.base import Backend, BackendError
+from .backend.faults import AsyncioFaultInjector
+from .backend.sim import SimBackend
+from .backend.supervision import SupervisionPolicy
 from .core.actop import ActOp, ActOpConfig
 from .faults.injector import FaultInjector
 from .faults.plan import FaultPlan
 from .faults.resilience import ResilienceConfig
 from .sim.engine import Simulator
 
-__all__ = ["Cluster", "build_cluster"]
+__all__ = ["BACKENDS", "Cluster", "build_cluster"]
+
+BACKENDS = ("sim", "asyncio")
+
+# Layers only the simulator implements today; naming them in the asyncio
+# error keeps the failure actionable.
+_SIM_ONLY = "actop, autoscale, and a shared sim are simulator-only layers"
 
 
 @dataclass
 class Cluster:
-    """A composed cluster: runtime + optional optimizer + fault injector
+    """A composed cluster: backend + optional optimizer + fault injector
     + optional autoscaler.
 
-    The runtime is always present; ``actop``, ``injector``, and
-    ``autoscale`` are None when their layer was not configured.
-    :meth:`start` arms whatever is present (idempotence is the caller's
-    concern — call it once).
+    ``runtime`` is the backend-neutral object workloads drive — the
+    :class:`~repro.actor.runtime.ActorRuntime` on the simulator, the
+    :class:`~repro.backend.asyncio_backend.AsyncioBackend` facade on the
+    real runtime; both expose the same registration/traffic surface.
+    ``actop``, ``injector``, and ``autoscale`` are None when their layer
+    was not configured.  :meth:`start` arms whatever is present
+    (idempotence is the caller's concern — call it once).  The cluster
+    is a context manager: ``with build_cluster(...) as cluster: ...``
+    releases backend resources (sockets, loops) on exit.
     """
 
-    runtime: ActorRuntime
+    runtime: Any
     actop: Optional[ActOp] = None
-    injector: Optional[FaultInjector] = None
+    injector: Optional[Any] = None
     autoscale: Optional[AutoscaleController] = None
-    _started: bool = False
+    backend: Optional[Backend] = None
+    _started: bool = field(default=False, repr=False)
 
     def start(self) -> "Cluster":
-        """Arm the optimizer, the fault plan, and the autoscaler (once)."""
+        """Arm the backend, optimizer, fault plan, and autoscaler (once)."""
         if self._started:
             raise RuntimeError("Cluster.start() called twice")
         self._started = True
+        if self.backend is not None:
+            self.backend.start()
         if self.actop is not None:
             self.actop.start()
         if self.injector is not None:
@@ -78,10 +108,21 @@ class Cluster:
         return self
 
     def run(self, until: Optional[float] = None) -> None:
-        """Drive the simulator (starting the cluster first if needed)."""
+        """Drive the engine (starting the cluster first if needed)."""
         if not self._started:
             self.start()
         self.runtime.run(until=until)
+
+    def shutdown(self) -> None:
+        """Release backend resources (idempotent; no-op on the sim)."""
+        if self.backend is not None:
+            self.backend.shutdown()
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
 
     # Convenience pass-throughs the benches lean on.
     @property
@@ -92,37 +133,86 @@ class Cluster:
     def config(self) -> ClusterConfig:
         return self.runtime.config
 
+    @property
+    def backend_name(self) -> str:
+        return self.backend.name if self.backend is not None else "sim"
+
 
 def build_cluster(
-    cluster: Optional[ClusterConfig] = None,
+    config: Optional[ClusterConfig] = None,
+    *legacy: Any,
+    backend: str = "sim",
     resilience: Optional[ResilienceConfig] = None,
     actop: Optional[ActOpConfig] = None,
     faults: Optional[FaultPlan] = None,
-    *,
     autoscale: Optional[AutoscaleConfig] = None,
     sim: Optional[Simulator] = None,
+    supervision: Optional[SupervisionPolicy] = None,
+    transport: str = "inproc",
+    call_timeout: Optional[float] = None,
+    **deprecated: Any,
 ) -> Cluster:
-    """Compose a cluster from the five config layers.
+    """Compose a cluster from the config layers — the single construction
+    path for either engine.
 
     Args:
-        cluster: machine configuration (defaults to the paper's testbed).
+        config: machine configuration (defaults to the paper's testbed).
+        backend: ``"sim"`` (deterministic discrete-event reference) or
+            ``"asyncio"`` (real tasks, sockets, wall-clock time).
         resilience: retry/deadline/admission policies (None = off; the
-            runtime takes its bit-identical fast path).
+            sim runtime takes its bit-identical fast path).  The asyncio
+            backend honours ``call_timeout`` only and rejects the rest.
         actop: optimizer configuration; None or a disabled config builds
-            no optimizer.
-        faults: fault plan; None or an empty plan installs nothing.
+            no optimizer (sim only).
+        faults: fault plan; None or an empty plan installs nothing.  On
+            asyncio only the crash/membership vocabulary is supported —
+            network-model actions raise :class:`BackendError` at build
+            time.
         autoscale: elastic-scaling configuration; None builds no
-            controller (the run is bit-identical to earlier builds).
-            When both actop and autoscale are configured, scaling plans
-            trigger ActOp rebalancing rounds.
+            controller (sim only).
         sim: an existing simulator to share (tests compose several
-            drivers on one clock).
+            drivers on one clock; sim backend only).
+        supervision: crash policy for the asyncio backend
+            (restart/stop/escalate with a max-restart budget).
+        transport: asyncio inter-silo transport, ``"inproc"`` or
+            ``"tcp"``.
+        call_timeout: asyncio wall-clock call timeout override (defaults
+            to ``resilience.call_timeout`` when given, else 5 s).
 
     Returns a :class:`Cluster`; call :meth:`Cluster.start` (or just
-    :meth:`Cluster.run`) to arm the optimizer, fault plan, and
+    :meth:`Cluster.run`) to arm the backend, optimizer, fault plan, and
     autoscaler.
+
+    Deprecated forms (kept as warning shims, behaviour unchanged):
+    positional ``resilience``/``actop``/``faults`` after the config, and
+    the old ``cluster=`` keyword for the first argument.
     """
-    runtime = ActorRuntime(cluster or ClusterConfig(), sim=sim,
+    config, resilience, actop, faults = _fold_legacy_arguments(
+        config, legacy, resilience, actop, faults, deprecated)
+    if backend not in BACKENDS:
+        raise BackendError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}")
+
+    if backend == "asyncio":
+        return _build_asyncio(config, resilience=resilience, actop=actop,
+                              faults=faults, autoscale=autoscale, sim=sim,
+                              supervision=supervision, transport=transport,
+                              call_timeout=call_timeout)
+
+    if supervision is not None:
+        raise BackendError(
+            "supervision policies apply to the asyncio backend only: the "
+            "simulator treats in-turn exceptions as bugs in the model "
+            "(pass backend='asyncio', or drop supervision=)")
+    if transport != "inproc":
+        raise BackendError(
+            "transport selection applies to the asyncio backend only "
+            "(the simulator models its own network)")
+    if call_timeout is not None:
+        raise BackendError(
+            "call_timeout= at build_cluster level is an asyncio knob; on "
+            "the simulator pass ResilienceConfig(call_timeout=...)")
+    runtime = ActorRuntime(config or ClusterConfig(), sim=sim,
                            resilience=resilience)
     optimizer = (ActOp(runtime, actop)
                  if actop is not None and actop.enabled else None)
@@ -131,4 +221,77 @@ def build_cluster(
     controller = (AutoscaleController(runtime, autoscale, actop=optimizer)
                   if autoscale is not None else None)
     return Cluster(runtime=runtime, actop=optimizer, injector=injector,
-                   autoscale=controller)
+                   autoscale=controller, backend=SimBackend(runtime))
+
+
+def _build_asyncio(config, *, resilience, actop, faults, autoscale, sim,
+                   supervision, transport, call_timeout) -> Cluster:
+    if actop is not None or autoscale is not None or sim is not None:
+        raise BackendError(
+            f"backend='asyncio' does not support these layers yet "
+            f"({_SIM_ONLY}); build with backend='sim' or drop them")
+    if resilience is not None:
+        unsupported = [name for name in ("retry", "admission",
+                                         "request_deadline")
+                       if getattr(resilience, name, None) is not None]
+        if unsupported:
+            raise BackendError(
+                f"backend='asyncio' supports ResilienceConfig.call_timeout "
+                f"only; unsupported fields set: {', '.join(unsupported)}")
+        if call_timeout is None:
+            call_timeout = resilience.call_timeout
+    engine = AsyncioBackend(
+        config or ClusterConfig(),
+        supervision=supervision,
+        transport=transport,
+        call_timeout=(call_timeout if call_timeout is not None
+                      else DEFAULT_CALL_TIMEOUT))
+    injector = (AsyncioFaultInjector(engine, faults)
+                if faults is not None and not faults.empty else None)
+    return Cluster(runtime=engine, injector=injector, backend=engine)
+
+
+def _fold_legacy_arguments(config, legacy, resilience, actop, faults,
+                           deprecated):
+    """Deprecation shims for the pre-backend ``build_cluster`` signature.
+
+    Warn exactly once per call, behave identically — the contract every
+    shim in this tree honours (tests/integration/test_deprecation_shims).
+    """
+    if "cluster" in deprecated:
+        if config is not None:
+            raise TypeError(
+                "build_cluster() got both a positional config and the "
+                "deprecated cluster= keyword")
+        config = deprecated.pop("cluster")
+        warnings.warn(
+            "build_cluster(cluster=...) is deprecated; the first argument "
+            "is now named config (pass it positionally or as config=...)",
+            DeprecationWarning, stacklevel=3)
+    if deprecated:
+        unexpected = ", ".join(sorted(deprecated))
+        raise TypeError(
+            f"build_cluster() got unexpected keyword arguments: {unexpected}")
+    if legacy:
+        if len(legacy) > 3:
+            raise TypeError(
+                f"build_cluster() takes at most 4 positional arguments "
+                f"({1 + len(legacy)} given)")
+        warnings.warn(
+            "positional resilience/actop/faults arguments to "
+            "build_cluster() are deprecated; pass them as keywords "
+            "(resilience=..., actop=..., faults=...)",
+            DeprecationWarning, stacklevel=3)
+        for value, name, current in zip(
+                legacy, ("resilience", "actop", "faults"),
+                (resilience, actop, faults)):
+            if current is not None:
+                raise TypeError(
+                    f"build_cluster() got multiple values for {name!r}")
+            if name == "resilience":
+                resilience = value
+            elif name == "actop":
+                actop = value
+            else:
+                faults = value
+    return config, resilience, actop, faults

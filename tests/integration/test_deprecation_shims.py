@@ -146,3 +146,49 @@ def test_shimmed_actop_kwargs_run_is_identical_to_config_form():
         lambda rt: ActOp(rt, ActOpConfig(partitioning=PartitioningConfig())))
     assert shimmed == layered
     assert shimmed["results"] == ["pong"] * 12
+
+
+# ----------------------------------------------------------------------
+# PR-8 shims: the pre-backend build_cluster signature
+# ----------------------------------------------------------------------
+def test_positional_layer_arguments_warn_exactly_once():
+    resilience = ResilienceConfig(call_timeout=0.01)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        shimmed = build_cluster(ClusterConfig(num_servers=1, seed=3),
+                                resilience)
+    (warning,) = _deprecations(caught)
+    assert "positional" in str(warning.message)
+    assert shimmed.runtime.resilience.call_timeout == 0.01
+
+
+def test_positional_layer_arguments_behave_identically():
+    resilience = ResilienceConfig(call_timeout=0.01,
+                                  admission=AdmissionConfig(receiver_queue=64))
+    with warnings.catch_warnings(record=True):
+        warnings.simplefilter("always")
+        shimmed = _drive(build_cluster(
+            ClusterConfig(num_servers=1, seed=3), resilience))
+    layered = _drive(build_cluster(
+        ClusterConfig(num_servers=1, seed=3), resilience=resilience))
+    assert shimmed == layered
+
+
+def test_cluster_keyword_alias_warns_exactly_once():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        shimmed = build_cluster(cluster=ClusterConfig(num_servers=3, seed=5))
+    (warning,) = _deprecations(caught)
+    assert "config" in str(warning.message)
+    assert shimmed.runtime.num_servers == 3
+
+
+def test_positional_and_keyword_layer_conflict_is_an_error():
+    import pytest
+
+    resilience = ResilienceConfig(call_timeout=0.01)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        with pytest.raises(TypeError, match="multiple values"):
+            build_cluster(ClusterConfig(num_servers=1), resilience,
+                          resilience=resilience)

@@ -1,0 +1,98 @@
+"""Supervision policy unit tests: budgets, windows, escalation."""
+
+import pytest
+
+from repro.actor.ids import ActorId
+from repro.backend.supervision import SupervisionPolicy, Supervisor
+
+
+AID = ActorId("t", 1)
+OTHER = ActorId("t", 2)
+
+
+def test_policy_defaults():
+    policy = SupervisionPolicy()
+    assert policy.strategy == "restart"
+    assert policy.max_restarts == 3
+    assert policy.window == 30.0
+    assert policy.on_exhaustion == "escalate"
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"strategy": "reboot"},
+    {"on_exhaustion": "restart"},
+    {"max_restarts": -1},
+    {"window": 0.0},
+])
+def test_policy_validation(kwargs):
+    with pytest.raises(ValueError):
+        SupervisionPolicy(**kwargs)
+
+
+def test_restart_within_budget():
+    sup = Supervisor(SupervisionPolicy(max_restarts=3, window=30.0))
+    assert [sup.decide(AID, now=float(i)) for i in range(3)] == \
+        ["restart", "restart", "restart"]
+    assert sup.restarts == 3
+
+
+def test_budget_exhaustion_escalates():
+    sup = Supervisor(SupervisionPolicy(max_restarts=2, window=30.0))
+    decisions = [sup.decide(AID, now=float(i)) for i in range(4)]
+    # crash #1, #2 restart; crash #3 exceeds a 2-restart budget.
+    assert decisions == ["restart", "restart", "escalate", "escalate"]
+    assert sup.escalations == 2
+
+
+def test_budget_exhaustion_stop():
+    sup = Supervisor(SupervisionPolicy(max_restarts=1, on_exhaustion="stop"))
+    assert sup.decide(AID, now=0.0) == "restart"
+    assert sup.decide(AID, now=1.0) == "stop"
+    assert sup.stops == 1
+
+
+def test_window_slides():
+    sup = Supervisor(SupervisionPolicy(max_restarts=1, window=10.0))
+    assert sup.decide(AID, now=0.0) == "restart"
+    # Second crash inside the window exhausts the budget...
+    assert sup.decide(AID, now=5.0) == "escalate"
+    # ...but once the earlier crashes age out, restarts resume.
+    assert sup.decide(AID, now=40.0) == "restart"
+
+
+def test_budget_is_per_actor():
+    sup = Supervisor(SupervisionPolicy(max_restarts=1))
+    assert sup.decide(AID, now=0.0) == "restart"
+    assert sup.decide(AID, now=1.0) == "escalate"
+    assert sup.decide(OTHER, now=1.0) == "restart"
+
+
+def test_stop_strategy_never_restarts():
+    sup = Supervisor(SupervisionPolicy(strategy="stop"))
+    assert sup.decide(AID, now=0.0) == "stop"
+    assert sup.restarts == 0
+
+
+def test_escalate_strategy():
+    sup = Supervisor(SupervisionPolicy(strategy="escalate"))
+    assert sup.decide(AID, now=0.0) == "escalate"
+
+
+def test_forget_resets_history():
+    sup = Supervisor(SupervisionPolicy(max_restarts=1, window=100.0))
+    assert sup.decide(AID, now=0.0) == "restart"
+    sup.forget(AID)
+    assert sup.decide(AID, now=1.0) == "restart"
+
+
+def test_crashes_in_window():
+    sup = Supervisor(SupervisionPolicy(max_restarts=5, window=10.0))
+    for t in (0.0, 1.0, 2.0):
+        sup.decide(AID, now=t)
+    assert sup.crashes_in_window(AID, now=3.0) == 3
+    assert sup.crashes_in_window(AID, now=11.5) == 1
+    assert sup.crashes_in_window(OTHER, now=3.0) == 0
+
+
+def test_default_supervisor_policy():
+    assert Supervisor().policy == SupervisionPolicy()
