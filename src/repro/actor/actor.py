@@ -55,11 +55,19 @@ class Actor:
       suspended at a yield point.  Orleans-style call-chain reentrancy is
       required for call cycles such as player -> game -> player; the
       default is True.
+    * ``PERSISTED``: optional tuple of field names that make up the
+      actor's durable state.  When declared, ``capture_state()``
+      snapshots exactly those fields (instead of the whole ``__dict__``),
+      so deactivation, migration, and supervision restarts restore only
+      the declared set — any other field reverts to its ``__init__``
+      value.  The ``XB-UNPERSISTED-RESTORE`` lint rule flags methods
+      that mutate non-underscore fields outside the declared set.
     """
 
     COMPUTE: ClassVar[dict[str, float]] = {}
     WAIT: ClassVar[dict[str, float]] = {}
     REENTRANT: ClassVar[bool] = True
+    PERSISTED: ClassVar[Optional[tuple[str, ...]]] = None
 
     def __init__(self) -> None:
         # Filled in by the runtime at activation time.
@@ -103,10 +111,14 @@ class Actor:
     def on_deactivate(self) -> None:
         """Hook: called before state capture on deactivation/migration."""
 
-    # State capture: everything in __dict__ except runtime bindings.
+    # State capture: everything in __dict__ except runtime bindings —
+    # or exactly the declared PERSISTED subset when the class names one.
     _RUNTIME_FIELDS = ("_id", "_server_id")
 
     def capture_state(self) -> dict[str, Any]:
+        if self.PERSISTED is not None:
+            return {k: v for k, v in self.__dict__.items()
+                    if k in self.PERSISTED}
         return {
             k: v for k, v in self.__dict__.items() if k not in self._RUNTIME_FIELDS
         }

@@ -17,12 +17,16 @@ from .linter import DEFAULT_ROOTS, LintReport, lint_file, lint_paths, lint_sourc
 from .sanitizer import (
     Conflict,
     OrderProbe,
+    PayloadEvent,
     Sanitizer,
     current,
     detect_order_dependence,
 )
+from .version import ANALYSIS_VERSION
 
 __all__ = [
+    "ANALYSIS_VERSION",
+    "PayloadEvent",
     "Finding",
     "Severity",
     "Waiver",

@@ -5,12 +5,15 @@ The contract matching the other ``repro`` subcommands: the run *fails*
 still listed (with their justification) so the report is an audit trail
 of every exemption in the tree.
 
-Two passes share the report.  The per-file pass runs every registered
+Three passes share the report.  The per-file pass runs every registered
 :class:`~repro.analysis.framework.Rule` on one module at a time (and is
 the part the ``--cache`` result cache can skip).  The opt-in flow pass
 (``flow=True``) builds the project-wide index + interaction graph from
 :mod:`repro.analysis.flow` over the *same* file set and merges the
 interprocedural FLOW findings in; waivers apply to them identically.
+The opt-in cross-backend pass (``xbackend=True``) runs the XB
+portability rules from :mod:`repro.analysis.xbackend` over the same
+index machinery, same waiver semantics.
 
 Findings are deduplicated per (path, line, rule) and reported in
 deterministic (path, line, rule) order regardless of traversal order.
@@ -199,29 +202,45 @@ def _collect_files(paths: Sequence[str],
 
 
 def _ruleset_signature(rules: Optional[Iterable[str]]) -> str:
+    """Cache key component covering *what analysis would run*: the
+    analysis-version stamp (bumped on any rule-logic change), every
+    registered rule name in every family (per-file, FLOW, XB — a new
+    rule in any family must invalidate cached results), the package
+    version, and the rule selection."""
     import hashlib
 
+    from .flow.rules import all_flow_rules
+    from .version import ANALYSIS_VERSION
+    from .xbackend.rules import all_xb_rules
+
     names = sorted(r.name for r in all_rules())
+    names += sorted(r.name for r in all_flow_rules())
+    names += sorted(r.name for r in all_xb_rules())
     selected = sorted(rules) if rules is not None else ["*"]
     try:
         from .. import __version__ as version
     except ImportError:                      # pragma: no cover
         version = "0"
-    blob = "\n".join(["v1", version, *names, "--", *selected])
+    blob = "\n".join([f"analysis-v{ANALYSIS_VERSION}", version,
+                      *names, "--", *selected])
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
 
 
 def lint_paths(paths: Sequence[str] = DEFAULT_ROOTS, base: str = ".",
                rules: Optional[Iterable[str]] = None,
                flow: bool = False,
+               xbackend: bool = False,
                cache_dir: Optional[str] = None) -> LintReport:
     """Lint every ``.py`` file under each of ``paths`` (files or dirs),
     resolved against ``base``; findings report base-relative paths.
 
     ``flow=True`` additionally builds the project-wide index over the
     same file set and merges the interprocedural FLOW findings.
-    ``cache_dir`` enables the per-file result cache (flow findings are
-    never cached: any file can change another file's flow findings).
+    ``xbackend=True`` runs the cross-backend portability pass (the XB
+    family) over the same file set and merges its findings.
+    ``cache_dir`` enables the per-file result cache (flow/XB findings
+    are never cached: any file can change another file's project-wide
+    findings).
     """
     report = LintReport()
     cache = None
@@ -251,15 +270,14 @@ def lint_paths(paths: Sequence[str] = DEFAULT_ROOTS, base: str = ".",
         report.cache_hits = cache.hits
         report.cache_misses = cache.misses
 
-    if flow:
-        from .flow import analyze_files
-
-        selected = set(rules) if rules is not None else None
-        _index, graph, flow_findings = analyze_files(sources)
-        report.flow_graph = graph
+    selected = set(rules) if rules is not None else None
+    waiver_map = None
+    if flow or xbackend:
         waiver_map = {rel: parse_waivers(src) for rel, src in sources}
+
+    def _merge_project_findings(findings: Iterable[Finding]) -> None:
         merged: List[Finding] = []
-        for finding in flow_findings:
+        for finding in findings:
             if finding.rule == "PARSE-ERROR":
                 continue              # the per-file pass reported it
             if selected is not None and finding.rule not in selected:
@@ -267,6 +285,19 @@ def lint_paths(paths: Sequence[str] = DEFAULT_ROOTS, base: str = ".",
             merged.extend(_apply_waivers(
                 [finding], waiver_map.get(finding.path, [])))
         report.findings.extend(merged)
+
+    if flow:
+        from .flow import analyze_files
+
+        _index, graph, flow_findings = analyze_files(sources)
+        report.flow_graph = graph
+        _merge_project_findings(flow_findings)
+
+    if xbackend:
+        from .xbackend import analyze_xbackend
+
+        _xb_index, xb_findings = analyze_xbackend(sources)
+        _merge_project_findings(xb_findings)
 
     return report.finalize()
 

@@ -43,6 +43,7 @@ __all__ = [
     "Sanitizer",
     "Conflict",
     "OrderProbe",
+    "PayloadEvent",
     "current",
     "detect_order_dependence",
 ]
@@ -83,6 +84,29 @@ class Conflict:
         text = (f"conflict on {self.owner}.{self.field} "
                 f"at t={self.time:.6f}: {who}")
         return f"{text} — {self.note}" if self.note else text
+
+
+@dataclass(frozen=True)
+class PayloadEvent:
+    """One cross-backend payload hazard observed at a real send site.
+
+    The dynamic cousin of the static ``XB-*`` rules: the asyncio
+    backend's payload probe records an event when a message payload is
+    aliased by the sender's own state (``kind="alias"`` — shared by
+    reference inproc, copied over TCP) or fails ``pickle.dumps``
+    (``kind="unpicklable"`` — cannot cross the TCP transport at all).
+    The crosscheck in :mod:`repro.analysis.xbackend.crosscheck` demands
+    every such event be covered by a static finding (static ⊇ dynamic).
+    """
+
+    kind: str                     # "alias" | "unpicklable"
+    sender: str                   # sender class name, or "<client>"
+    method: str                   # sender method (or target method)
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "sender": self.sender,
+                "method": self.method, "detail": self.detail}
 
 
 @dataclass(frozen=True)
@@ -155,6 +179,7 @@ class Sanitizer:
         self._context: list[str] = []
         self._injected: list[Conflict] = []
         self.rng_draws: Counter = Counter()
+        self.payload_events: list[PayloadEvent] = []
         self.accesses = 0
         self.events_seen = 0
         self._armed = False
@@ -316,6 +341,21 @@ class Sanitizer:
         """Called by RngRegistry at stream creation while armed."""
         return _SanRandom(rng, name, self)
 
+    def record_payload_alias(self, sender: str, method: str,
+                             detail: str = "") -> None:
+        """Payload probe: a message left ``sender.method`` carrying an
+        object the sender's own state still references — shared inproc,
+        pickle-copied over TCP, so behaviour forks by transport."""
+        self.payload_events.append(
+            PayloadEvent("alias", sender, method, detail))
+
+    def record_unpicklable_payload(self, sender: str, method: str,
+                                   detail: str = "") -> None:
+        """Payload probe: a message payload failed ``pickle.dumps`` —
+        it can cross the inproc transport by reference but never TCP."""
+        self.payload_events.append(
+            PayloadEvent("unpicklable", sender, method, detail))
+
     def record_inflight_eviction(self, owner, age: float) -> None:
         """``drop_oldest`` evicted a *dispatched* request: server work is
         racing client-side abandonment — the sustained-overload livelock
@@ -393,6 +433,7 @@ class Sanitizer:
             "rng_draws": dict(sorted(self.rng_draws.items())),
             "conflicts": [c.to_dict() for c in conflicts],
             "rng_hazards": [c.to_dict() for c in hazards],
+            "payload_events": [e.to_dict() for e in self.payload_events],
         }
 
 

@@ -1,0 +1,55 @@
+"""Cross-backend portability analysis (the XB rule family).
+
+Static side: a payload escape/aliasing analysis (:mod:`.escape`) and a
+picklability type lattice (:mod:`.lattice`) over the flow pass's
+project index, emitting ``XB-*`` findings (:mod:`.rules`) through the
+standard lint pipeline.
+
+Dynamic side: the asyncio backend's payload probe (armed through the
+sanitizer) plus the inproc deep-copy transport mode record the
+aliasing/pickle hazards a real run actually hits;
+:mod:`.crosscheck` verifies static ⊇ dynamic — every observed hazard
+must be covered by a static XB finding at the same class/method.
+
+Entry point for the linter: :func:`analyze_xbackend`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..findings import Finding, Severity
+from ..flow.index import ProjectIndex, build_index
+from .crosscheck import (
+    crosscheck_events,
+    crosscheck_parity,
+    format_xb_crosscheck,
+    static_coverage,
+)
+from .rules import XBRule, all_xb_rules, run_xb_rules
+
+__all__ = [
+    "XBRule",
+    "all_xb_rules",
+    "analyze_xbackend",
+    "crosscheck_events",
+    "crosscheck_parity",
+    "format_xb_crosscheck",
+    "run_xb_rules",
+    "static_coverage",
+]
+
+
+def analyze_xbackend(files: Sequence[Tuple[str, str]],
+                     ) -> Tuple[ProjectIndex, List[Finding]]:
+    """Index ``(relpath, source)`` pairs and run every XB rule.  Parse
+    failures become findings (the per-file pass reports them too; the
+    linter deduplicates)."""
+    index = build_index(files)
+    findings = run_xb_rules(index)
+    for path, line, msg in index.parse_failures:
+        findings.append(Finding(
+            rule="PARSE-ERROR", severity=Severity.ERROR,
+            path=path, line=line, message=f"file does not parse: {msg}"))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return index, findings

@@ -1,0 +1,176 @@
+"""Static ⊇ dynamic cross-check for the XB portability rules.
+
+Same tradition as the PR-4 sanitizer and the PR-5 interaction-graph
+check: the static analysis is an over-approximation, so every hazard a
+*real run* observes must already be covered by a static finding at the
+same (sender class, method).  The dynamic side is the asyncio backend's
+payload probe — armed through the sanitizer, it records an event
+whenever an outgoing message payload aliases the sender's own state or
+fails ``pickle.dumps``.  The static side is :func:`run_xb_rules` over
+the same source tree (waived findings still count as coverage: a waiver
+is a human-audited acknowledgement, not a blind spot).
+
+:func:`crosscheck_parity` drives the asyncio parity programs (the
+cross-silo ping pair and the Stageflow pipeline) with the deep-copy
+inproc transport and the probe armed, then demands dynamic ⊆ static.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..findings import Finding
+from ..flow.index import ProjectIndex
+
+__all__ = ["static_coverage", "crosscheck_events", "crosscheck_parity",
+           "format_xb_crosscheck"]
+
+#: dynamic event kind -> the static rule that must cover it
+_KIND_TO_RULE = {
+    "alias": "XB-ALIASED-MUTABLE",
+    "unpicklable": "XB-UNPICKLABLE-PAYLOAD",
+}
+
+Coverage = Set[Tuple[str, str, str]]        # (class, method, rule)
+
+
+def static_coverage(index: ProjectIndex,
+                    findings: Iterable[Finding]) -> Coverage:
+    """Map findings back to ``(class, method, rule)`` triples by line
+    containment in the indexed method bodies."""
+    spans: Dict[str, List[Tuple[int, int, str, str]]] = {}
+    for cls in index.all_classes():
+        for mname in sorted(cls.methods):
+            node = cls.methods[mname].node
+            if node is None:
+                continue
+            end = getattr(node, "end_lineno", None) or node.lineno
+            spans.setdefault(cls.path, []).append(
+                (node.lineno, end, cls.name, mname))
+    out: Coverage = set()
+    for finding in findings:
+        for start, end, cls_name, mname in spans.get(finding.path, []):
+            if start <= finding.line <= end:
+                out.add((cls_name, mname, finding.rule))
+    return out
+
+
+def crosscheck_events(coverage: Coverage, events: Sequence) -> dict:
+    """Demand every dynamic payload event is covered statically.
+
+    ``events`` are :class:`~repro.analysis.sanitizer.PayloadEvent`\\ s;
+    an event is covered when a static finding with the matching rule
+    lands inside the same sender class + method.
+    """
+    uncovered: List[dict] = []
+    for event in events:
+        rule = _KIND_TO_RULE.get(event.kind)
+        if rule is None:
+            continue
+        if (event.sender, event.method, rule) not in coverage:
+            entry = event.to_dict()
+            entry["expected_rule"] = rule
+            uncovered.append(entry)
+    return {
+        "schema": 1,
+        "ok": not uncovered,
+        "dynamic_events": [e.to_dict() for e in events],
+        "uncovered": uncovered,
+    }
+
+
+def _run_parity_programs(transport: str) -> Tuple[list, int]:
+    """Drive the two parity programs (cross-silo ping, Stageflow) on the
+    asyncio backend with the payload probe armed.  Returns the recorded
+    payload events and the transport's pickle-copy failure count."""
+    # Lazy: this is the only part of the analysis package that touches
+    # the runtime, and only when a caller asks for the dynamic side.
+    from ... import ClusterConfig, build_cluster
+    from ...backend.bench import PingerActor, PongerActor
+    from ...workloads.stageflow import (
+        StageSpec,
+        StageflowConfig,
+        StageflowWorkload,
+    )
+    from ..sanitizer import Sanitizer
+
+    pickle_failures = 0
+    san = Sanitizer()
+    with san.armed():
+        cluster = build_cluster(ClusterConfig(num_servers=2, seed=7),
+                                backend="asyncio", transport=transport)
+        with cluster:
+            be = cluster.backend
+            be.register_actor("pinger", PingerActor)
+            be.register_actor("ponger", PongerActor)
+            cluster.start()
+            be.spawn(be.ref("pinger", 0), server=0)
+            be.spawn(be.ref("ponger", 0), server=1)
+            for i in range(10):
+                be.call(be.ref("pinger", 0), "ping", i, size=64,
+                        response_size=64)
+                cluster.run()
+            pickle_failures += be.runtime.pickle_copy_failures
+
+        cluster = build_cluster(ClusterConfig(num_servers=4, seed=7),
+                                backend="asyncio", transport=transport)
+        with cluster:
+            cluster.start()
+            workload = StageflowWorkload(cluster.runtime, StageflowConfig(
+                stages=(StageSpec("route", compute=50e-6, replicas=2),
+                        StageSpec("enrich", compute=100e-6,
+                                  heavy_compute=200e-6, replicas=3),
+                        StageSpec("transform", compute=80e-6, replicas=2)),
+                policy="round_robin",
+                pipelines=2,
+                router_shards=2,
+                report_period=None,
+                heavy_fraction=0.3,
+            ))
+            workload.start(arrivals=False)
+            workload.drive(40)
+            cluster.run()
+            pickle_failures += cluster.runtime.pickle_copy_failures
+    return list(san.payload_events), pickle_failures
+
+
+def crosscheck_parity(paths: Sequence[str] = ("src/repro",),
+                      base: str = ".",
+                      transport: str = "inproc-copy") -> dict:
+    """The CI cross-check: run the parity suite with the deep-copy
+    inproc transport and the probe armed, statically analyze ``paths``,
+    and verify static ⊇ dynamic."""
+    from ..linter import _collect_files
+    from . import analyze_xbackend
+
+    files = _collect_files(paths, base)
+    sources = []
+    for file_path, rel in files:
+        with open(file_path, "r", encoding="utf-8") as fh:
+            sources.append((rel, fh.read()))
+    index, findings = analyze_xbackend(sources)
+    coverage = static_coverage(index, findings)
+
+    events, pickle_failures = _run_parity_programs(transport)
+    report = crosscheck_events(coverage, events)
+    report["transport"] = transport
+    report["pickle_copy_failures"] = pickle_failures
+    report["static_findings"] = len(findings)
+    report["files_analyzed"] = len(sources)
+    return report
+
+
+def format_xb_crosscheck(report: dict) -> str:
+    lines = [
+        f"xbackend crosscheck ({report.get('transport', '?')}): "
+        f"{len(report.get('dynamic_events', []))} dynamic event(s), "
+        f"{report.get('static_findings', 0)} static finding(s), "
+        f"{report.get('pickle_copy_failures', 0)} pickle copy failure(s)",
+    ]
+    for entry in report.get("uncovered", []):
+        lines.append(
+            f"  UNCOVERED {entry['kind']} at "
+            f"{entry['sender']}.{entry['method']} — no static "
+            f"{entry['expected_rule']} finding covers it")
+    lines.append("static ⊇ dynamic: " + ("OK" if report.get("ok") else "FAIL"))
+    return "\n".join(lines)

@@ -1,0 +1,244 @@
+"""Payload escape/aliasing analysis.
+
+The question this module answers, per send site: *which objects leave
+the sender inside a message, and does the sender keep a live reference
+to any of them?*  On the inproc transport the receiver gets the very
+same object (sharing by reference), on TCP it gets a pickle deep copy —
+so a payload the sender retains and later reads or mutates means the
+program's results depend on which transport it runs on.
+
+Everything here is a lexical over-approximation in the style of the
+flow pass: a payload "escapes aliased" when it is
+
+* ``self.<field>`` where the field is *mutable* (initialised to or
+  rebuilt from a list/dict/set/... anywhere in the class, or hit by a
+  container-mutator call), because the sender's state retains the
+  reference by construction; or
+* a local name bound to such a field; or
+* a local name bound to a fresh mutable literal that the sender then
+  mutates *after* the send line, or stores into ``self`` (which retains
+  it past the turn).
+
+Container literals are traversed, so ``Call(ref, "m", [self.members])``
+is caught; arbitrary calls are not (``list(self.members)`` makes a copy
+and is the canonical fix).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..rules import _attr_chain
+from .lattice import RUNTIME_HANDLE_FIELDS
+
+__all__ = ["SendSite", "send_sites", "mutable_fields", "yield_lines",
+           "AliasFacts", "MUTABLE_FACTORY_CALLS"]
+
+#: Message-bearing constructors / methods and the index of their first
+#: payload argument: ``Call(target, method, *payload)``,
+#: ``Tell(target, method, *payload)``,
+#: ``runtime.client_request(ref, method, *payload, ...)``,
+#: ``runtime.send(ref, method, *payload, ...)``.
+_SEND_SHAPES: Dict[str, int] = {
+    "Call": 2,
+    "Tell": 2,
+    "client_request": 2,
+    "send": 2,
+}
+
+#: Callables that build a *new mutable container*; a field assigned one
+#: of these is mutable state even without a literal initializer.
+MUTABLE_FACTORY_CALLS = frozenset({
+    "list", "dict", "set", "bytearray", "deque", "defaultdict",
+    "Counter", "OrderedDict", "array", "sorted",
+})
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set,
+                     ast.ListComp, ast.SetComp, ast.DictComp)
+
+#: Container methods that mutate the receiver in place.
+_LOCAL_MUTATORS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "appendleft", "popleft",
+    "clear", "sort", "reverse",
+})
+
+
+@dataclass(frozen=True)
+class SendSite:
+    """One message construction inside a function body."""
+
+    line: int
+    kind: str                       # "Call" | "Tell" | "client_request" | "send"
+    method: Optional[str]           # target method if a string constant
+    payload: Tuple[ast.expr, ...]   # positional payload expressions
+
+
+def is_mutable_initializer(expr: ast.expr) -> bool:
+    """Does this expression build a mutable container?"""
+    if isinstance(expr, _MUTABLE_LITERALS):
+        return True
+    if isinstance(expr, ast.Call):
+        chain = _attr_chain(expr.func)
+        if chain and chain.split(".")[-1] in MUTABLE_FACTORY_CALLS:
+            return True
+    return False
+
+
+def send_sites(fn: ast.AST) -> List[SendSite]:
+    """All message-send sites lexically inside ``fn``.
+
+    Matching is by last-name, like the provenance evaluator: the real
+    ``repro.actor.calls.Call`` and a fixture stand-in named ``Call``
+    both count.
+    """
+    out: List[SendSite] = []
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _attr_chain(node.func)
+        if chain is None:
+            continue
+        last = chain.split(".")[-1]
+        skip = _SEND_SHAPES.get(last)
+        if skip is None or len(node.args) < skip:
+            continue
+        if last == "send" and not _looks_like_runtime_send(chain, node):
+            continue
+        method = None
+        if len(node.args) > 1 and isinstance(node.args[1], ast.Constant) \
+                and isinstance(node.args[1].value, str):
+            method = node.args[1].value
+        out.append(SendSite(line=node.lineno, kind=last, method=method,
+                            payload=tuple(node.args[skip:])))
+    out.sort(key=lambda s: (s.line, s.kind))
+    return out
+
+
+def _looks_like_runtime_send(chain: str, node: ast.Call) -> bool:
+    """``send`` is a common name (sockets, queues); only treat it as an
+    actor send when the receiver looks like runtime machinery and the
+    second argument is the method-name string."""
+    parts = chain.split(".")
+    if len(parts) < 2:
+        return False
+    owner = parts[-2]
+    if owner not in RUNTIME_HANDLE_FIELDS and owner not in (
+            "rt", "be", "cluster", "self"):
+        return False
+    return (len(node.args) >= 2 and isinstance(node.args[1], ast.Constant)
+            and isinstance(node.args[1].value, str))
+
+
+def mutable_fields(cls) -> Dict[str, str]:
+    """``field -> why`` for every field of ``cls`` that holds a mutable
+    container (judged from every write site plus mutator calls)."""
+    out: Dict[str, str] = {}
+    for mname in sorted(cls.methods):
+        info = cls.methods[mname]
+        for write in info.field_writes:
+            if write.field_name not in out \
+                    and is_mutable_initializer(write.value):
+                out[write.field_name] = (
+                    f"initialised to a mutable container in {mname}()")
+        for mut in info.mutations:
+            if mut.field_name not in out and "container mutator" in mut.desc:
+                out[mut.field_name] = mut.desc
+    return out
+
+
+def yield_lines(fn: ast.FunctionDef) -> List[int]:
+    """Lines of every yield point in ``fn`` itself (not nested defs)."""
+    lines: List[int] = []
+
+    class _Finder(ast.NodeVisitor):
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            if node is fn:
+                self.generic_visit(node)
+
+        visit_AsyncFunctionDef = visit_FunctionDef
+
+        def visit_Lambda(self, node: ast.Lambda) -> None:
+            pass
+
+        def visit_Yield(self, node: ast.Yield) -> None:
+            lines.append(node.lineno)
+            self.generic_visit(node)
+
+        def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+            lines.append(node.lineno)
+            self.generic_visit(node)
+
+    _Finder().visit(fn)
+    return sorted(lines)
+
+
+@dataclass
+class AliasFacts:
+    """Per-function alias facts feeding XB-ALIASED-MUTABLE.
+
+    ``field_aliases``:  local name -> self-fields it may alias.
+    ``mutable_locals``: local name -> line where a fresh mutable
+                        container was bound to it.
+    ``local_mutations``: local name -> lines where it is mutated in
+                         place (mutator call, augassign, item assign).
+    ``stored_locals``:  local names stored into ``self.<field>`` (the
+                        sender retains them past the turn).
+    """
+
+    field_aliases: Dict[str, Set[str]] = field(default_factory=dict)
+    mutable_locals: Dict[str, int] = field(default_factory=dict)
+    local_mutations: Dict[str, List[int]] = field(default_factory=dict)
+    stored_locals: Set[str] = field(default_factory=set)
+
+    @classmethod
+    def collect(cls, fn: ast.AST) -> "AliasFacts":
+        facts = cls()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign):
+                facts._assign(node.targets, node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                facts._assign([node.target], node.value)
+            elif isinstance(node, ast.AugAssign):
+                if isinstance(node.target, ast.Name):
+                    facts._mutate(node.target.id, node.lineno)
+            elif isinstance(node, ast.Call):
+                chain = _attr_chain(node.func)
+                if chain:
+                    parts = chain.split(".")
+                    if len(parts) == 2 and parts[1] in _LOCAL_MUTATORS:
+                        facts._mutate(parts[0], node.lineno)
+        return facts
+
+    def _assign(self, targets: List[ast.expr], value: ast.expr) -> None:
+        lineno = value.lineno
+        for target in targets:
+            if isinstance(target, ast.Subscript) \
+                    and isinstance(target.value, ast.Name):
+                # item assignment mutates the container in place
+                self._mutate(target.value.id, lineno)
+                continue
+            if isinstance(target, ast.Attribute) \
+                    and isinstance(target.value, ast.Name) \
+                    and target.value.id == "self" \
+                    and isinstance(value, ast.Name):
+                # self.f = local: the sender's state retains the local
+                self.stored_locals.add(value.id)
+                continue
+            if not isinstance(target, ast.Name):
+                continue
+            name = target.id
+            chain = _attr_chain(value)
+            if chain and chain.startswith("self.") and chain.count(".") == 1:
+                self.field_aliases.setdefault(name, set()).add(
+                    chain.split(".")[1])
+            elif isinstance(value, ast.Name) and value.id in self.field_aliases:
+                self.field_aliases.setdefault(name, set()).update(
+                    self.field_aliases[value.id])
+            elif is_mutable_initializer(value):
+                self.mutable_locals.setdefault(name, lineno)
+
+    def _mutate(self, name: str, line: int) -> None:
+        self.local_mutations.setdefault(name, []).append(line)

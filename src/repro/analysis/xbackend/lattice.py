@@ -1,0 +1,210 @@
+"""The picklability type lattice.
+
+The TCP transport moves every cross-silo message through
+``pickle.dumps`` / ``pickle.loads``; the inproc transport hands the
+same objects over by reference.  A payload that cannot pickle therefore
+*works* on one backend and *fails* (or silently drops, per the
+lost-message model) on the other — the worst kind of portability bug,
+because the fast local test path never exercises it.
+
+This module answers, per expression, "can the value this produces cross
+the TCP transport?" with a four-point lattice::
+
+        UNPICKLABLE            (definitely cannot cross: fail the lint)
+            |
+         UNKNOWN               (opaque call results, attributes, ...)
+            |
+        PICKLABLE              (constants, containers of picklable)
+            |
+         BOTTOM                (no information yet)
+
+``join`` moves up the lattice, so a conditional that may produce either
+a constant or an open file joins to UNPICKLABLE and the rule fires.
+Only UNPICKLABLE findings are reported: UNKNOWN stays silent, which
+keeps the pass quiet on ordinary application values at the cost of
+missing exotic ones — the same over-approximate-but-quiet contract the
+FLOW rules follow.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..rules import _attr_chain
+
+__all__ = ["Pickle", "Verdict", "classify", "MethodPickleEnv",
+           "UNPICKLABLE_FACTORY_CALLS", "UNPICKLABLE_FACTORY_PREFIXES",
+           "RUNTIME_HANDLE_FIELDS"]
+
+
+class Pickle:
+    """Lattice levels, ordered so ``max`` is the join."""
+
+    BOTTOM = 0
+    PICKLABLE = 1
+    UNKNOWN = 2
+    UNPICKLABLE = 3
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One point in the lattice, with the reason when unpicklable."""
+
+    level: int
+    reason: str = ""
+
+    def join(self, other: "Verdict") -> "Verdict":
+        if other.level > self.level:
+            return other
+        return self
+
+    @property
+    def unpicklable(self) -> bool:
+        return self.level == Pickle.UNPICKLABLE
+
+
+BOTTOM = Verdict(Pickle.BOTTOM)
+PICKLABLE = Verdict(Pickle.PICKLABLE)
+UNKNOWN = Verdict(Pickle.UNKNOWN)
+
+
+def unpicklable(reason: str) -> Verdict:
+    return Verdict(Pickle.UNPICKLABLE, reason)
+
+
+#: Builtin factories whose results hold process-local iteration state or
+#: OS handles; ``pickle.dumps`` rejects all of them.
+UNPICKLABLE_FACTORY_CALLS = frozenset({
+    "open", "iter", "map", "filter", "zip", "enumerate", "reversed",
+    "memoryview", "compile",
+})
+
+#: Module prefixes whose constructors produce process-local OS objects.
+UNPICKLABLE_FACTORY_PREFIXES = (
+    "threading.", "socket.", "subprocess.", "multiprocessing.",
+    "asyncio.", "selectors.", "mmap.",
+)
+
+#: ``self.<field>`` names that conventionally hold the hosting engine /
+#: silo / runtime — live machinery a message payload must never carry.
+RUNTIME_HANDLE_FIELDS = frozenset({
+    "rt", "_rt", "runtime", "_runtime", "sim", "_sim", "engine",
+    "_engine", "backend", "_backend", "silo", "_silo", "loop", "_loop",
+    "server", "_server",
+})
+
+
+def _call_target(call: ast.Call, mod) -> Optional[str]:
+    chain = _attr_chain(call.func)
+    if chain is None:
+        return None
+    resolved = mod.imports.resolve(call.func) if mod is not None else None
+    return resolved or chain
+
+
+def classify(expr: ast.expr, mod, cls,
+             env: Optional[Dict[str, Verdict]] = None) -> Verdict:
+    """Lattice verdict for one expression.
+
+    ``env`` maps local names to verdicts (built by
+    :class:`MethodPickleEnv`); without it, names are UNKNOWN.
+    """
+    if isinstance(expr, ast.Constant):
+        return PICKLABLE
+    if isinstance(expr, ast.Lambda):
+        return unpicklable("a lambda (closures do not pickle)")
+    if isinstance(expr, ast.GeneratorExp):
+        return unpicklable("a generator expression (live iteration state)")
+    if isinstance(expr, (ast.List, ast.Tuple, ast.Set)):
+        out = PICKLABLE
+        for elt in expr.elts:
+            out = out.join(classify(elt, mod, cls, env))
+        return out
+    if isinstance(expr, ast.Dict):
+        out = PICKLABLE
+        for key in expr.keys:
+            if key is not None:
+                out = out.join(classify(key, mod, cls, env))
+        for value in expr.values:
+            out = out.join(classify(value, mod, cls, env))
+        return out
+    if isinstance(expr, ast.Starred):
+        return classify(expr.value, mod, cls, env)
+    if isinstance(expr, ast.IfExp):
+        return classify(expr.body, mod, cls, env).join(
+            classify(expr.orelse, mod, cls, env))
+    if isinstance(expr, ast.Name):
+        if env is not None and expr.id in env:
+            return env[expr.id]
+        return UNKNOWN
+    if isinstance(expr, ast.Attribute):
+        chain = _attr_chain(expr)
+        if (chain and chain.startswith(("self.", "cls."))
+                and chain.count(".") == 1):
+            attr = chain.split(".")[1]
+            if attr in RUNTIME_HANDLE_FIELDS:
+                return unpicklable(
+                    f"the engine/silo handle {chain} (process-local "
+                    f"runtime machinery)")
+            if cls is not None and attr in cls.methods:
+                return unpicklable(
+                    f"the bound method {chain} (captures the live "
+                    f"instance)")
+        return UNKNOWN
+    if isinstance(expr, ast.Call):
+        target = _call_target(expr, mod)
+        if target is None:
+            return UNKNOWN
+        last = target.split(".")[-1]
+        if target in UNPICKLABLE_FACTORY_CALLS \
+                or last in UNPICKLABLE_FACTORY_CALLS:
+            return unpicklable(
+                f"the result of {last}() (live handle/iterator)")
+        if target.startswith(UNPICKLABLE_FACTORY_PREFIXES):
+            return unpicklable(
+                f"the result of {target}() (process-local OS object)")
+        return UNKNOWN
+    return UNKNOWN
+
+
+class MethodPickleEnv:
+    """Local-name verdict environment for one function body.
+
+    Two monotone passes (assignments join into the environment) so
+    verdicts flow through loops and forward uses, mirroring the
+    provenance evaluator in :mod:`repro.analysis.flow.cfg`.
+    """
+
+    def __init__(self, fn: ast.AST, mod, cls):
+        self.env: Dict[str, Verdict] = {}
+        for _ in range(2):
+            for node in ast.walk(fn):
+                targets = []
+                value = None
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    targets, value = [node.target], node.value
+                elif isinstance(node, ast.NamedExpr):
+                    targets, value = [node.target], node.value
+                elif (isinstance(node, ast.With)):
+                    for item in node.items:
+                        if item.optional_vars is not None and isinstance(
+                                item.optional_vars, ast.Name):
+                            verdict = classify(item.context_expr, mod, cls,
+                                               self.env)
+                            self._bind(item.optional_vars.id, verdict)
+                    continue
+                if value is None:
+                    continue
+                verdict = classify(value, mod, cls, self.env)
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        self._bind(target.id, verdict)
+
+    def _bind(self, name: str, verdict: Verdict) -> None:
+        # Join, don't overwrite: any path that can bind an unpicklable
+        # value taints the name (over-approximation on purpose).
+        self.env[name] = self.env.get(name, BOTTOM).join(verdict)

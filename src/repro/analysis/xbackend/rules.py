@@ -1,0 +1,351 @@
+"""The XB rule family: cross-backend portability checks.
+
+One actor program runs on three engines — the discrete-event simulator,
+asyncio with the in-process reference-passing transport, and asyncio
+with the length-prefixed-pickle TCP transport.  Location transparency
+(the paper's standing assumption, Orleans' enforced contract) says the
+program must *mean the same thing* on all three.  Two mechanical
+differences break that silently:
+
+* **Copy semantics.**  Inproc hands message payloads over by reference;
+  TCP deep-copies them through pickle.  A mutable payload the sender
+  retains is shared state on one transport and a snapshot on the other
+  (``XB-ALIASED-MUTABLE``), and a payload that cannot pickle at all
+  crosses inproc happily but never crosses TCP
+  (``XB-UNPICKLABLE-PAYLOAD``).
+* **Turn semantics.**  The simulator runs a turn to completion in an
+  instant of virtual time; asyncio suspends the turn at every yield
+  point and may interleave other turns while it waits, exposing
+  partially-updated ``self`` state (``XB-AWAIT-TURN-SPLIT``).  And a
+  supervision restart rebuilds an activation from its *persisted* state
+  only, silently resetting any field mutated outside that set
+  (``XB-UNPERSISTED-RESTORE``).
+
+The rules run over the same :class:`~repro.analysis.flow.index.ProjectIndex`
+the FLOW family uses and report through the same Finding/waiver pipeline,
+so ``# repro: waive[XB-...] -- reason`` works unchanged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator, List, Optional, Tuple, Type
+
+from ..findings import Finding, Severity
+from ..flow.index import ClassInfo, ModuleInfo, ProjectIndex
+from .escape import (
+    AliasFacts,
+    SendSite,
+    mutable_fields,
+    send_sites,
+    yield_lines,
+)
+from .lattice import MethodPickleEnv, classify
+
+__all__ = ["XBRule", "all_xb_rules", "run_xb_rules",
+           "XB_ALIASED_MUTABLE", "XB_UNPICKLABLE_PAYLOAD",
+           "XB_AWAIT_TURN_SPLIT", "XB_UNPERSISTED_RESTORE"]
+
+XB_ALIASED_MUTABLE = "XB-ALIASED-MUTABLE"
+XB_UNPICKLABLE_PAYLOAD = "XB-UNPICKLABLE-PAYLOAD"
+XB_AWAIT_TURN_SPLIT = "XB-AWAIT-TURN-SPLIT"
+XB_UNPERSISTED_RESTORE = "XB-UNPERSISTED-RESTORE"
+
+#: Lifecycle methods excluded from mutate-outside-PERSISTED checks: they
+#: run before the first persisted snapshot or as part of snapshotting.
+_LIFECYCLE_METHODS = frozenset({
+    "__init__", "on_activate", "on_deactivate",
+    "capture_state", "restore_state",
+})
+
+_XB_REGISTRY: List[Type["XBRule"]] = []
+
+
+class XBRule:
+    """One project-wide portability rule over the symbol index."""
+
+    name: ClassVar[str] = ""
+    severity: ClassVar[Severity] = Severity.ERROR
+    description: ClassVar[str] = ""
+    rationale: ClassVar[str] = ""
+
+    def check(self, index: ProjectIndex) -> List[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, line: int, message: str) -> Finding:
+        return Finding(rule=self.name, severity=self.severity,
+                       path=path, line=line, message=message)
+
+
+def _register(cls: Type[XBRule]) -> Type[XBRule]:
+    _XB_REGISTRY.append(cls)
+    return cls
+
+
+def all_xb_rules() -> Tuple[Type[XBRule], ...]:
+    return tuple(_XB_REGISTRY)
+
+
+def _sender_bodies(index: ProjectIndex) -> Iterator[
+        Tuple[ModuleInfo, Optional[ClassInfo], str, ast.AST]]:
+    """Every function body that could construct a message: methods of
+    every class (actors *and* client-side workload/driver classes) plus
+    module-level functions.  Deterministic order."""
+    for path in sorted(index.modules):
+        mod = index.modules[path]
+        for cls_name in sorted(mod.classes):
+            cls = mod.classes[cls_name]
+            for mname in sorted(cls.methods):
+                node = cls.methods[mname].node
+                if node is not None:
+                    yield mod, cls, mname, node
+        for fname in sorted(mod.functions):
+            yield mod, None, fname, mod.functions[fname]
+
+
+def _payload_parts(expr: ast.expr) -> Iterator[ast.expr]:
+    """The expression itself plus anything reachable through container
+    *literals* (a list payload wrapping a field still aliases it); calls
+    like ``list(self.f)`` are copies and are deliberately opaque."""
+    yield expr
+    if isinstance(expr, (ast.List, ast.Tuple, ast.Set)):
+        for elt in expr.elts:
+            yield from _payload_parts(elt)
+    elif isinstance(expr, ast.Dict):
+        for value in expr.values:
+            yield from _payload_parts(value)
+    elif isinstance(expr, ast.Starred):
+        yield from _payload_parts(expr.value)
+
+
+def _site_desc(site: SendSite) -> str:
+    if site.method is not None:
+        return f"{site.kind}(..., {site.method!r}, ...)"
+    return f"{site.kind}(...)"
+
+
+@_register
+class AliasedMutableRule(XBRule):
+    name = XB_ALIASED_MUTABLE
+    description = ("mutable object sent in a message while the sender "
+                   "retains a reference to it")
+    rationale = ("The inproc transport delivers payloads by reference and "
+                 "TCP delivers a pickle deep copy, so a payload the sender "
+                 "keeps and later reads or mutates is shared state on one "
+                 "transport and a private snapshot on the other — results "
+                 "diverge by transport.  Send an immutable snapshot "
+                 "(tuple(...), dict(...) copy) instead.")
+
+    def check(self, index: ProjectIndex) -> List[Finding]:
+        findings: List[Finding] = []
+        for mod, cls, fname, fn in _sender_bodies(index):
+            sites = send_sites(fn)
+            if not sites:
+                continue
+            shared = mutable_fields(cls) if cls is not None else {}
+            facts = AliasFacts.collect(fn)
+            owner = f"{cls.name}.{fname}" if cls is not None else f"{fname}"
+            for site in sites:
+                for arg in site.payload:
+                    hit = self._aliased(arg, site, shared, facts)
+                    if hit is None:
+                        continue
+                    findings.append(self.finding(
+                        mod.path, site.line,
+                        f"{owner} sends {hit} in {_site_desc(site)}: "
+                        f"shared by reference on the inproc transport but "
+                        f"pickle-copied over TCP, so sender and receiver "
+                        f"observe different objects depending on the "
+                        f"backend; send an immutable snapshot instead"))
+                    break       # one finding per send site is enough
+        findings.sort(key=lambda f: (f.path, f.line, f.message))
+        return findings
+
+    @staticmethod
+    def _aliased(arg: ast.expr, site: SendSite, shared, facts) -> Optional[str]:
+        for part in _payload_parts(arg):
+            if isinstance(part, ast.Attribute) \
+                    and isinstance(part.value, ast.Name) \
+                    and part.value.id == "self" \
+                    and part.attr in shared:
+                return (f"self.{part.attr} (a mutable container the "
+                        f"sender's state retains: {shared[part.attr]})")
+            if isinstance(part, ast.Name):
+                aliased = facts.field_aliases.get(part.id, set()) & set(shared)
+                if aliased:
+                    f = sorted(aliased)[0]
+                    return (f"local {part.id!r} aliasing self.{f} (a "
+                            f"mutable container the sender's state retains)")
+                if part.id in facts.mutable_locals:
+                    muts = [ln for ln in facts.local_mutations.get(part.id, [])
+                            if ln > site.line]
+                    if muts:
+                        return (f"local {part.id!r} (mutable container) and "
+                                f"mutates it after the send at line "
+                                f"{muts[0]}")
+                    if part.id in facts.stored_locals:
+                        return (f"local {part.id!r} (mutable container) "
+                                f"also stored into the sender's own state")
+        return None
+
+
+@_register
+class UnpicklablePayloadRule(XBRule):
+    name = XB_UNPICKLABLE_PAYLOAD
+    description = ("message payload whose inferred type cannot cross the "
+                   "TCP transport (pickle)")
+    rationale = ("TCP frames are pickle bytes: lambdas, generators, open "
+                 "files, locks, sockets, and engine/silo handles raise at "
+                 "dumps() time — but the same payload crosses the inproc "
+                 "transport by reference without complaint, so the bug "
+                 "only surfaces when the program is deployed distributed.")
+
+    def check(self, index: ProjectIndex) -> List[Finding]:
+        findings: List[Finding] = []
+        for mod, cls, fname, fn in _sender_bodies(index):
+            sites = send_sites(fn)
+            if not sites:
+                continue
+            env = MethodPickleEnv(fn, mod, cls).env
+            owner = f"{cls.name}.{fname}" if cls is not None else f"{fname}"
+            for site in sites:
+                for arg in site.payload:
+                    verdict = classify(arg, mod, cls, env)
+                    if not verdict.unpicklable:
+                        continue
+                    findings.append(self.finding(
+                        mod.path, site.line,
+                        f"{owner} sends {verdict.reason} in "
+                        f"{_site_desc(site)}: pickle.dumps() rejects it, so "
+                        f"the message crosses the inproc transport but can "
+                        f"never cross TCP — the program only works "
+                        f"single-process"))
+                    break       # one finding per send site is enough
+        findings.sort(key=lambda f: (f.path, f.line, f.message))
+        return findings
+
+
+@_register
+class AwaitTurnSplitRule(XBRule):
+    name = XB_AWAIT_TURN_SPLIT
+    description = ("reentrant actor method mutates state both before and "
+                   "after a yield point (turn splits on asyncio)")
+    rationale = ("The simulator runs a turn to completion at one instant "
+                 "of virtual time; the asyncio backend suspends the turn "
+                 "at every yield and interleaves other turns while it "
+                 "waits.  A reentrant actor that mutates state before the "
+                 "yield and again after it exposes the partial update to "
+                 "whatever runs in between — an interleaving the sim can "
+                 "never produce.  Set REENTRANT = False, or stage the "
+                 "update so all writes land after the last yield.")
+
+    def check(self, index: ProjectIndex) -> List[Finding]:
+        findings: List[Finding] = []
+        for cls in index.actor_classes():
+            if not cls.reentrant:
+                continue        # parked turns never interleave: safe
+            for mname in sorted(cls.methods):
+                method = cls.methods[mname]
+                if not method.is_generator or method.node is None \
+                        or mname in _LIFECYCLE_METHODS:
+                    continue
+                writes = sorted(
+                    {(w.line, w.field_name) for w in method.field_writes}
+                    | {(m.line, m.field_name) for m in method.mutations})
+                if not writes:
+                    continue
+                for yline in yield_lines(method.node):
+                    before = [w for w in writes if w[0] < yline]
+                    after = [w for w in writes if w[0] > yline]
+                    if not before or not after:
+                        continue
+                    findings.append(self.finding(
+                        cls.path, yline,
+                        f"{cls.name}.{mname} mutates "
+                        f"self.{before[-1][1]} (line {before[-1][0]}) "
+                        f"before and self.{after[0][1]} (line "
+                        f"{after[0][0]}) after the yield at line {yline}: "
+                        f"on asyncio the turn suspends here and other "
+                        f"turns observe the partial update; the sim's "
+                        f"run-to-completion semantics never exposes it"))
+                    break       # one finding per method is enough
+        findings.sort(key=lambda f: (f.path, f.line, f.message))
+        return findings
+
+
+def persisted_fields(cls: ClassInfo) -> Optional[Tuple[str, ...]]:
+    """The ``PERSISTED = (...)`` declaration of a class, if any."""
+    if cls.node is None:
+        return None
+    for stmt in cls.node.body:
+        name = None
+        value = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            name, value = stmt.targets[0].id, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) \
+                and isinstance(stmt.target, ast.Name):
+            name, value = stmt.target.id, stmt.value
+        if name != "PERSISTED" or value is None:
+            continue
+        if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+            fields = []
+            for elt in value.elts:
+                if isinstance(elt, ast.Constant) \
+                        and isinstance(elt.value, str):
+                    fields.append(elt.value)
+            return tuple(fields)
+    return None
+
+
+@_register
+class UnpersistedRestoreRule(XBRule):
+    name = XB_UNPERSISTED_RESTORE
+    description = ("actor mutates a field outside its PERSISTED set; a "
+                   "supervision restart silently resets it")
+    rationale = ("On restart the supervisor rebuilds the activation and "
+                 "restores only capture_state()'s snapshot — with "
+                 "PERSISTED declared, exactly those fields.  A field "
+                 "mutated during normal turns but left out of the set "
+                 "reverts to its __init__ value after every restart, on "
+                 "every backend, without an error.  Add the field to "
+                 "PERSISTED, or prefix it with '_' to mark it ephemeral.")
+
+    def check(self, index: ProjectIndex) -> List[Finding]:
+        findings: List[Finding] = []
+        for cls in index.actor_classes():
+            persisted = persisted_fields(cls)
+            if persisted is None:
+                continue        # whole __dict__ persists: nothing to lose
+            pset = set(persisted)
+            for mname in sorted(cls.methods):
+                if mname in _LIFECYCLE_METHODS:
+                    continue
+                method = cls.methods[mname]
+                writes = sorted(
+                    {(w.line, w.field_name) for w in method.field_writes}
+                    | {(m.line, m.field_name) for m in method.mutations})
+                reported = set()
+                for line, fname in writes:
+                    if fname in pset or fname.startswith("_") \
+                            or fname in reported:
+                        continue
+                    reported.add(fname)
+                    findings.append(self.finding(
+                        cls.path, line,
+                        f"{cls.name}.{mname} mutates self.{fname} but "
+                        f"PERSISTED = {persisted!r} does not include it: "
+                        f"a supervision restart restores only the "
+                        f"persisted set, silently resetting self.{fname} "
+                        f"to its __init__ value"))
+        findings.sort(key=lambda f: (f.path, f.line, f.message))
+        return findings
+
+
+def run_xb_rules(index: ProjectIndex) -> List[Finding]:
+    """Run every XB rule; deterministic (path, line, rule) order."""
+    findings: List[Finding] = []
+    for rule_cls in all_xb_rules():
+        findings.extend(rule_cls().check(index))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return findings

@@ -23,6 +23,10 @@ Silos are task groups on one loop by default (``transport="inproc"``);
 ``transport="tcp"`` gives every silo a real listening socket on
 127.0.0.1 and routes every cross-silo message through the network stack,
 so a "remote" call pays genuine serialize → socket → deserialize.
+``transport="inproc-copy"`` keeps the in-process hop but pickle
+round-trips every cross-silo message — TCP's copy semantics without the
+sockets, so the XB portability crosscheck can prove reference-sharing
+and copy delivery produce identical logical results.
 
 The public surface deliberately mirrors the slice of
 :class:`~repro.actor.runtime.ActorRuntime` that workloads and pools
@@ -47,6 +51,7 @@ from typing import Any, Callable, Hashable, Optional
 
 from ..actor.actor import Actor
 from ..actor.calls import All, Call, Sleep, Tell
+from ..analysis.sanitizer import current as _sanitizer_current
 from ..actor.directory import Directory
 from ..actor.errors import ActorCrashed, ActorError, CallTimeout
 from ..actor.ids import ActorId, ActorRef
@@ -67,7 +72,7 @@ __all__ = ["AsyncioBackend", "WallClock", "DEFAULT_CALL_TIMEOUT"]
 DEFAULT_CALL_TIMEOUT = 5.0
 
 _FRAME_HEADER = struct.Struct(">I")
-_TRANSPORTS = ("inproc", "tcp")
+_TRANSPORTS = ("inproc", "inproc-copy", "tcp")
 
 
 class WallClock:
@@ -392,9 +397,12 @@ class AsyncioBackend(Backend):
         supervision: crash policy (default: restart with a budget of 3
             per 30 s, then escalate).
         transport: ``"inproc"`` (cross-silo hop = loop callback; the
-            fast default for tests) or ``"tcp"`` (every silo listens on
-            127.0.0.1 and cross-silo messages travel as length-prefixed
-            pickle frames over real sockets).
+            fast default for tests), ``"inproc-copy"`` (same hop, but
+            every cross-silo message is pickle round-tripped first —
+            TCP's copy semantics without the sockets, the validator for
+            the XB portability rules), or ``"tcp"`` (every silo listens
+            on 127.0.0.1 and cross-silo messages travel as
+            length-prefixed pickle frames over real sockets).
         call_timeout: wall-clock seconds before an unanswered call or
             client request fails with
             :class:`~repro.actor.errors.CallTimeout`.
@@ -441,6 +449,7 @@ class AsyncioBackend(Backend):
         self.requests_completed = 0
         self.requests_timed_out = 0
         self.late_responses = 0
+        self.pickle_copy_failures = 0
         self.failovers = 0
         self.migrations_total = 0
         self.actor_crashes = 0
@@ -761,6 +770,7 @@ class AsyncioBackend(Backend):
             except StopIteration as stop:
                 return stop.value
             if isinstance(yielded, Tell):
+                self._probe_payload(activation, generator, yielded.args)
                 oneway = Message(
                     kind=MessageKind.ONEWAY,
                     target=yielded.target.id,
@@ -778,6 +788,7 @@ class AsyncioBackend(Backend):
                 send_value = None
                 continue
             if isinstance(yielded, Call):
+                self._probe_payload(activation, generator, yielded.args)
                 result = await self._issue_call(silo, activation, yielded)
                 if isinstance(result, ActorError):
                     send_value, throw = result, True
@@ -785,6 +796,8 @@ class AsyncioBackend(Backend):
                     send_value = result
                 continue
             if isinstance(yielded, All):
+                for call in yielded.calls:
+                    self._probe_payload(activation, generator, call.args)
                 results = await asyncio.gather(
                     *(self._issue_call(silo, activation, call)
                       for call in yielded.calls))
@@ -885,29 +898,91 @@ class AsyncioBackend(Backend):
         instance.on_activate()
 
     # ------------------------------------------------------------------
+    # Payload probe (sanitizer)
+    # ------------------------------------------------------------------
+    def _probe_payload(self, activation: AsyncioActivation, generator,
+                       args: tuple) -> None:
+        """While a sanitizer is armed, inspect an outgoing payload for
+        the dynamic cousins of the XB rules: an argument the sender's
+        own state still references (shared inproc, copied over TCP —
+        XB-ALIASED-MUTABLE) and arguments pickle rejects outright
+        (XB-UNPICKLABLE-PAYLOAD).  Disarmed cost: one None check."""
+        san = _sanitizer_current()
+        if san is None or not args:
+            return
+        sender = type(activation.instance).__name__
+        method = getattr(generator, "__name__", "<turn>")
+        state = activation.instance.__dict__
+        mutable_ids = {id(v) for v in state.values()
+                       if isinstance(v, (list, dict, set, bytearray))}
+
+        def aliases_state(obj: Any) -> bool:
+            return id(obj) in mutable_ids
+
+        for arg in args:
+            hit = aliases_state(arg)
+            if not hit and isinstance(arg, (list, tuple, set)):
+                hit = any(aliases_state(e) for e in arg)
+            elif not hit and isinstance(arg, dict):
+                hit = any(aliases_state(v) for v in arg.values())
+            if hit:
+                san.record_payload_alias(
+                    sender, method,
+                    f"payload {type(arg).__name__} aliases sender state")
+                break
+        try:
+            pickle.dumps(args, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as err:  # noqa: BLE001 — pickle raises many types
+            san.record_unpicklable_payload(sender, method, repr(err))
+
+    # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
     def _transport_send(self, silo: AsyncioSilo, destination: int,
                         message: Message) -> None:
         dest = self.silos[destination]
-        if self.transport == "inproc":
-            # A cross-silo hop is always asynchronous — never runs the
-            # receiver inside the sender's stack frame.
-            self._loop.call_soon(dest.receive, message)
-        else:
+        if self.transport == "tcp":
             self._loop.create_task(
                 self._tcp_send(silo, destination, message),
                 name=f"send:{silo.server_id}->{destination}")
+            return
+        if self.transport == "inproc-copy":
+            copied = self._copy_message(message)
+            if copied is None:
+                return  # unpicklable: lost, exactly as it would be on TCP
+            message = copied
+        # A cross-silo hop is always asynchronous — never runs the
+        # receiver inside the sender's stack frame.
+        self._loop.call_soon(dest.receive, message)
+
+    def _copy_message(self, message: Message) -> Optional[Message]:
+        """Pickle round-trip one cross-silo message: TCP's deep-copy
+        semantics at the same boundary (and only there — local delivery
+        stays by-reference on every transport), without the sockets.
+        An unpicklable message is dropped, as TCP would lose it."""
+        try:
+            return pickle.loads(
+                pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL))
+        except Exception:  # noqa: BLE001 — pickle raises many types
+            self.pickle_copy_failures += 1
+            return None
 
     async def _tcp_send(self, silo: AsyncioSilo, destination: int,
                         message: Message) -> None:
         if silo.dead:
             return
         try:
+            payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:  # noqa: BLE001 — pickle raises many types
+            # Unserializable payload: the message can never cross the
+            # wire.  Count it and drop (the caller's timeout fires);
+            # propagating here would only kill an unawaited task.
+            self.pickle_copy_failures += 1
+            return
+        try:
             writer = await self._peer_writer(silo, destination)
             if writer is None:
                 return  # destination is down: dropped, like the sim
-            payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
             writer.write(_FRAME_HEADER.pack(len(payload)) + payload)
             await writer.drain()
         except (ConnectionError, OSError):

@@ -198,9 +198,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "one subprocess each (peak RSS then compounds)")
     perf.add_argument("--pings", type=int, default=1000,
                       help="asyncio backend: round trips to measure")
-    perf.add_argument("--transport", choices=("inproc", "tcp"),
+    perf.add_argument("--transport", choices=("inproc", "inproc-copy", "tcp"),
                       default="tcp",
-                      help="asyncio backend: inter-silo transport")
+                      help="asyncio backend: inter-silo transport "
+                           "(inproc-copy = in-process hop with TCP's "
+                           "pickle copy semantics)")
 
     trace = sub.add_parser(
         "trace",
@@ -341,6 +343,17 @@ def build_parser() -> argparse.ArgumentParser:
                            "observed comm edge exists in the static graph "
                            "(static ⊇ dynamic); write the diff JSON here; "
                            "implies --flow")
+    lint.add_argument("--xbackend", action="store_true",
+                      help="also run the cross-backend portability pass "
+                           "(XB rules: payload aliasing, picklability, "
+                           "turn-split atomicity, persisted-state drift)")
+    lint.add_argument("--xb-check", metavar="PATH", default=None,
+                      help="drive the asyncio parity programs on the "
+                           "deep-copy inproc transport with the payload "
+                           "probe armed and verify every dynamic event is "
+                           "covered by a static XB finding (static ⊇ "
+                           "dynamic); write the report JSON here; implies "
+                           "--xbackend")
     lint.add_argument("--waivers", action="store_true",
                       help="report every active '# repro: waive[...]' "
                            "(file, rules, justification) and exit")
@@ -973,16 +986,20 @@ def _run_lint(args: argparse.Namespace) -> int:
 
     from .analysis import DEFAULT_ROOTS, all_rules, lint_paths
     from .analysis.flow import all_flow_rules
+    from .analysis.xbackend import all_xb_rules
 
     if args.list_rules:
         rows = [[r.name, str(r.severity), r.description]
                 for r in all_rules()]
         rows += [[r.name, str(r.severity), f"[flow] {r.description}"]
                  for r in all_flow_rules()]
+        rows += [[r.name, str(r.severity), f"[xbackend] {r.description}"]
+                 for r in all_xb_rules()]
         print(render_table(
             ["rule", "severity", "description"], rows,
             title=f"{len(rows)} registered lint rules "
-                  f"({len(tuple(all_flow_rules()))} flow)",
+                  f"({len(tuple(all_flow_rules()))} flow, "
+                  f"{len(tuple(all_xb_rules()))} xbackend)",
         ))
         return 0
 
@@ -991,9 +1008,10 @@ def _run_lint(args: argparse.Namespace) -> int:
 
     flow = args.flow or args.flow_graph is not None \
         or args.graph_check is not None
+    xbackend = args.xbackend or args.xb_check is not None
     cache_dir = ".repro-lint-cache" if args.cache else None
     report = lint_paths(args.paths or DEFAULT_ROOTS, rules=args.rules,
-                        flow=flow, cache_dir=cache_dir)
+                        flow=flow, xbackend=xbackend, cache_dir=cache_dir)
     doc: dict = {"schema": 1, "lint": report.to_dict()}
     ok = report.ok
 
@@ -1015,6 +1033,14 @@ def _run_lint(args: argparse.Namespace) -> int:
                                        seed=args.seed)
         doc["graph_check"] = check_report
         ok = ok and check_report["ok"]
+
+    xb_report = None
+    if args.xb_check is not None:
+        from .analysis.xbackend import crosscheck_parity
+
+        xb_report = crosscheck_parity(args.paths or DEFAULT_ROOTS)
+        doc["xb_check"] = xb_report
+        ok = ok and xb_report["ok"]
     doc["ok"] = ok
 
     out = sys.stderr if args.json_path == "-" else sys.stdout
@@ -1052,6 +1078,14 @@ def _run_lint(args: argparse.Namespace) -> int:
             json.dump(check_report, fh, indent=2)
             fh.write("\n")
         print(f"graph-check diff written to {args.graph_check}", file=out)
+    if xb_report is not None:
+        from .analysis.xbackend import format_xb_crosscheck
+
+        print(format_xb_crosscheck(xb_report), file=out)
+        with open(args.xb_check, "w") as fh:
+            json.dump(xb_report, fh, indent=2)
+            fh.write("\n")
+        print(f"xbackend crosscheck written to {args.xb_check}", file=out)
     if san_report is not None:
         print(f"\nsanitizer: {san_report['requests_completed']} requests, "
               f"{san_report['events_seen']} events, "
@@ -1075,7 +1109,7 @@ def _run_lint(args: argparse.Namespace) -> int:
 
     if not ok:
         print("lint failed: unwaived findings, sanitizer conflicts, or "
-              "graph-check divergence (see report above)", file=sys.stderr)
+              "cross-check divergence (see report above)", file=sys.stderr)
         return 1
     return 0
 

@@ -174,8 +174,9 @@ def build_cluster(
             drivers on one clock; sim backend only).
         supervision: crash policy for the asyncio backend
             (restart/stop/escalate with a max-restart budget).
-        transport: asyncio inter-silo transport, ``"inproc"`` or
-            ``"tcp"``.
+        transport: asyncio inter-silo transport, ``"inproc"``,
+            ``"inproc-copy"`` (in-process hop with TCP's pickle
+            deep-copy semantics), or ``"tcp"``.
         call_timeout: asyncio wall-clock call timeout override (defaults
             to ``resilience.call_timeout`` when given, else 5 s).
 

@@ -1,0 +1,99 @@
+"""Deliberate XB violations — exactly one per cross-backend rule.
+
+Never imported by anything: ``tests/unit/test_xbackend_rules.py`` runs
+the xbackend pass over this file and asserts that exactly the four XB
+rules fire (one finding each).  The ``fixtures`` directory is excluded
+from the default lint roots, so the repo-wide pass stays clean.
+
+Like the other fixtures, the ``Actor``/``ActorRef``/``Call``/``Tell``
+stand-ins keep the file self-contained: the analysis resolves names
+within its project index, so in-file stand-ins behave like the real
+substrate.
+"""
+
+
+class Actor:
+    """Stand-in base so the index sees actor classes."""
+
+
+class ActorRef:
+    """Stand-in reference type (the evaluator matches the name)."""
+
+    def __init__(self, actor_type, key):
+        self.actor_type = actor_type
+        self.key = key
+
+
+class Call:
+    def __init__(self, target, method, *args, **kwargs):
+        self.target, self.method, self.args = target, method, args
+
+
+class Tell:
+    def __init__(self, target, method, *args, **kwargs):
+        self.target, self.method, self.args = target, method, args
+
+
+class RosterActor(Actor):
+    """Sends its own mutable list: the receiver and the sender now share
+    one object on inproc, two objects on TCP."""
+
+    def __init__(self):
+        self.members = []
+
+    def join(self, who):
+        self.members.append(who)
+
+    def broadcast(self):
+        # XB-ALIASED-MUTABLE: self.members escapes by reference.
+        ack = yield Call(ActorRef("mirror", 0), "sync", self.members)
+        return ack
+
+
+class StreamActor(Actor):
+    """Sends a generator expression: fine on inproc, pickle error on TCP."""
+
+    def publish(self):
+        # XB-UNPICKLABLE-PAYLOAD: generators cannot cross pickle.
+        yield Tell(ActorRef("mirror", 0), "sync", (x for x in range(3)))
+
+
+class SplitActor(Actor):
+    """Mutates state on both sides of a yield while reentrant."""
+
+    REENTRANT = True
+
+    def __init__(self):
+        self.balance = 0
+
+    def transfer(self, n):
+        self.balance -= n
+        # XB-AWAIT-TURN-SPLIT: interleavings can observe the debit
+        # without the credit on the asyncio backend.
+        yield Call(ActorRef("mirror", 0), "sync", n)
+        self.balance += n
+
+
+class CheckpointActor(Actor):
+    """Declares PERSISTED but mutates a field outside it."""
+
+    PERSISTED = ("committed",)
+
+    def __init__(self):
+        self.committed = 0
+        self.staged = 0
+
+    def stage(self, n):
+        # XB-UNPERSISTED-RESTORE: a supervised restart resets staged.
+        self.staged += n
+
+
+class MirrorActor(Actor):
+    """The clean receiver: messages land here; nothing escapes."""
+
+    def __init__(self):
+        self.synced = 0
+
+    def sync(self, payload):
+        self.synced += 1
+        return self.synced

@@ -73,9 +73,11 @@ def _stageflow_config() -> StageflowConfig:
     )
 
 
-def _run_stageflow(backend_name: str, requests: int = 40) -> dict:
+def _run_stageflow(backend_name: str, requests: int = 40,
+                   transport: str = "inproc") -> dict:
+    kwargs = {} if backend_name == "sim" else {"transport": transport}
     cluster = build_cluster(ClusterConfig(num_servers=4, seed=SEED),
-                            backend=backend_name)
+                            backend=backend_name, **kwargs)
     with cluster:
         cluster.start()
         rt = cluster.runtime
@@ -126,6 +128,42 @@ def test_ping_parity_tcp():
     sim = _run_ping("sim")
     aio = _run_ping("asyncio", transport="tcp")
     assert sim == aio
+
+
+def test_ping_parity_inproc_copy():
+    """The deep-copy inproc transport pickles every cross-silo message
+    exactly as TCP would, so a program whose logical results survive it
+    unchanged is portable: nothing it sends depends on reference
+    sharing, and nothing it sends fails pickle."""
+    reference = _run_ping("asyncio", transport="inproc")
+    copied = _run_ping("asyncio", transport="inproc-copy")
+    assert reference == copied
+
+
+def test_stageflow_parity_inproc_copy():
+    reference = _run_stageflow("asyncio", transport="inproc")
+    copied = _run_stageflow("asyncio", transport="inproc-copy")
+    assert reference == copied
+
+
+def test_inproc_copy_drops_nothing_on_the_parity_programs():
+    # Every message the parity programs send must survive the pickle
+    # round-trip — a nonzero failure count would mean the copy transport
+    # silently changed the program.
+    cluster = build_cluster(ClusterConfig(num_servers=2, seed=SEED),
+                            backend="asyncio", transport="inproc-copy")
+    with cluster:
+        be = cluster.backend
+        be.register_actor("pinger", PingerActor)
+        be.register_actor("ponger", PongerActor)
+        cluster.start()
+        be.spawn(be.ref("pinger", 0), server=0)
+        be.spawn(be.ref("ponger", 0), server=1)
+        for i in range(PINGS):
+            be.call(be.ref("pinger", 0), "ping", i, size=64,
+                    response_size=64)
+            cluster.run()
+        assert cluster.runtime.pickle_copy_failures == 0
 
 
 def test_stageflow_parity():

@@ -24,6 +24,8 @@ CASES = [
       "--duration", "10", "--settle", "5", "--kill", "1@2",
       "--recover", "1@8", "--retries", "3", "--timeout", "0.5"], 0),
     ("lint-ok", ["lint", "src/repro/analysis/findings.py"], 0),
+    ("lint-xbackend-ok",   # repo tree carries zero unwaived XB findings
+     ["lint", "--xbackend", "src/repro/analysis/findings.py"], 0),
     # ---- completed-with-findings -> 1
     ("trace-empty-window",  # no traced request completes in 10ms
      ["trace", "--workload", "halo", "--players", "60", "--servers", "2",
@@ -37,8 +39,12 @@ CASES = [
     ("lint-flow-findings",
      ["lint", "--flow",
       os.path.join("tests", "fixtures", "flow_violations.py")], 1),
+    ("lint-xbackend-findings",
+     ["lint", "--xbackend",
+      os.path.join("tests", "fixtures", "xbackend_violations.py")], 1),
     # ---- argparse rejection -> 2
     ("perf-bad-choice", ["perf", "--only", "nonesuch"], 2),
+    ("perf-bad-transport", ["perf", "--transport", "nonesuch"], 2),
     ("trace-bad-choice", ["trace", "--workload", "nonesuch"], 2),
     ("faults-bad-spec", ["faults", "--kill", "notaspec"], 2),
     ("lint-bad-flag", ["lint", "--bogus"], 2),

@@ -1,0 +1,133 @@
+"""The static ⊇ dynamic contract for the XB portability rules.
+
+This file is its own fixture: the actor program below carries one
+deliberate payload-aliasing hazard and one unpicklable payload.  The
+tests drive it on the asyncio backend's deep-copy inproc transport with
+the sanitizer's payload probe armed, then statically analyze *this
+file* and demand every dynamic event is covered by a static XB finding
+at the same (sender class, method) — the same over-approximation
+contract the PR-5 interaction-graph check enforces for comm edges.
+"""
+
+import os
+
+from repro import ClusterConfig, build_cluster
+from repro.actor.actor import Actor
+from repro.actor.calls import Tell
+from repro.actor.ids import ActorRef
+from repro.analysis.sanitizer import PayloadEvent, Sanitizer
+from repro.analysis.xbackend import (
+    analyze_xbackend,
+    crosscheck_events,
+    crosscheck_parity,
+    static_coverage,
+)
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+SELF = os.path.abspath(__file__)
+SEED = 7
+
+
+class SinkActor(Actor):
+    def __init__(self):
+        super().__init__()
+        self.taken = 0
+
+    def take(self, payload):
+        self.taken += 1
+        return self.taken
+
+
+class AliasingActor(Actor):
+    """Sends its own mutable list — the deliberate XB-ALIASED-MUTABLE."""
+
+    def __init__(self):
+        super().__init__()
+        self.members = []
+
+    def grow(self, who):
+        self.members.append(who)
+
+    def share(self):
+        yield Tell(ActorRef("sink", 0), "take", self.members)
+
+
+class LeakyActor(Actor):
+    """Sends a generator — the deliberate XB-UNPICKLABLE-PAYLOAD."""
+
+    def ship(self):
+        yield Tell(ActorRef("sink", 0), "take", (x for x in range(3)))
+
+
+def _drive_program() -> tuple[list, int]:
+    """Run the hazard program on inproc-copy with the probe armed."""
+    san = Sanitizer()
+    with san.armed():
+        cluster = build_cluster(ClusterConfig(num_servers=2, seed=SEED),
+                                backend="asyncio", transport="inproc-copy")
+        with cluster:
+            be = cluster.backend
+            be.register_actor("sink", SinkActor)
+            be.register_actor("alias", AliasingActor)
+            be.register_actor("leaky", LeakyActor)
+            cluster.start()
+            be.spawn(be.ref("sink", 0), server=1)
+            be.spawn(be.ref("alias", 0), server=0)
+            be.spawn(be.ref("leaky", 0), server=0)
+            be.call(be.ref("alias", 0), "grow", "p1")
+            be.call(be.ref("alias", 0), "share")
+            be.call(be.ref("leaky", 0), "ship")
+            cluster.run()
+            failures = cluster.runtime.pickle_copy_failures
+    return list(san.payload_events), failures
+
+
+def _self_coverage():
+    with open(SELF, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    index, findings = analyze_xbackend([(SELF, source)])
+    return static_coverage(index, findings), findings
+
+
+def test_probe_records_both_hazard_kinds():
+    events, failures = _drive_program()
+    kinds = {(e.kind, e.sender, e.method) for e in events}
+    assert ("alias", "AliasingActor", "share") in kinds
+    assert ("unpicklable", "LeakyActor", "ship") in kinds
+    # The generator payload cannot cross the deep-copy boundary — the
+    # transport drops it exactly as TCP would.
+    assert failures >= 1
+
+
+def test_static_findings_cover_every_dynamic_event():
+    coverage, findings = _self_coverage()
+    assert ("AliasingActor", "share", "XB-ALIASED-MUTABLE") in coverage
+    assert ("LeakyActor", "ship", "XB-UNPICKLABLE-PAYLOAD") in coverage
+
+    events, _failures = _drive_program()
+    report = crosscheck_events(coverage, events)
+    assert report["ok"], report["uncovered"]
+    assert len(report["dynamic_events"]) == len(events)
+
+
+def test_crosscheck_flags_uncovered_events():
+    coverage, _findings = _self_coverage()
+    phantom = PayloadEvent(kind="alias", sender="NoSuchActor",
+                           method="nowhere", detail="fabricated")
+    report = crosscheck_events(coverage, [phantom])
+    assert not report["ok"]
+    assert report["uncovered"][0]["expected_rule"] == "XB-ALIASED-MUTABLE"
+    assert report["uncovered"][0]["sender"] == "NoSuchActor"
+
+
+def test_repo_parity_suite_has_no_uncovered_events():
+    """The CI gate: the real parity programs, driven on the deep-copy
+    transport with the probe armed, produce no dynamic hazard the
+    static pass over src/repro does not already know about — and (the
+    tree being clean) no hazards at all."""
+    report = crosscheck_parity(base=REPO)
+    assert report["ok"], report["uncovered"]
+    assert report["uncovered"] == []
+    assert report["pickle_copy_failures"] == 0
+    assert report["files_analyzed"] > 0

@@ -96,6 +96,36 @@ def test_rule_selection_changes_the_signature(tmp_path):
     assert narrowed.cache_misses == 1 and narrowed.cache_hits == 0
 
 
+def test_analysis_version_bump_invalidates_cached_findings(tmp_path, monkeypatch):
+    # The bugfix this test pins: without the version stamp in the
+    # signature, a rule-logic change would silently reuse stale cached
+    # findings.  Bumping the stamp must force a full re-miss.
+    import repro.analysis.version as version_mod
+
+    _write(tmp_path, "a.py", VIOLATION)
+    _lint(tmp_path)
+    warm = _lint(tmp_path)
+    assert warm.cache_hits == 1
+
+    monkeypatch.setattr(version_mod, "ANALYSIS_VERSION",
+                        version_mod.ANALYSIS_VERSION + "-test")
+    bumped = _lint(tmp_path)
+    assert bumped.cache_misses == 1 and bumped.cache_hits == 0
+
+
+def test_signature_covers_flow_and_xb_rule_names(monkeypatch):
+    # A new rule in *any* family must change the signature, even though
+    # flow/XB findings themselves are never cached: the stamp guards the
+    # whole analysis, not just the per-file half.
+    from repro.analysis.linter import _ruleset_signature
+    from repro.analysis.xbackend import rules as xb_rules
+
+    base = _ruleset_signature(None)
+    monkeypatch.setattr(
+        xb_rules.AliasedMutableRule, "name", "XB-RENAMED")
+    assert _ruleset_signature(None) != base
+
+
 def test_cache_survives_missing_directory_parent(tmp_path):
     _write(tmp_path, "a.py", CLEAN)
     nested = tmp_path / "deep" / "cache"

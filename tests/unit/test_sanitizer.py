@@ -142,8 +142,24 @@ def test_disarmed_actor_writes_are_unrecorded():
 def test_report_schema():
     report = Sanitizer().report()
     assert set(report) == {"ok", "events_seen", "accesses", "distinct_sites",
-                           "rng_draws", "conflicts", "rng_hazards"}
+                           "rng_draws", "conflicts", "rng_hazards",
+                           "payload_events"}
     assert report["ok"] is True
+    assert report["payload_events"] == []
+
+
+def test_payload_events_are_recorded_but_do_not_fail_the_report():
+    # The XB cross-check consumes these; whether they are *covered* is
+    # its verdict to make, so the sanitizer only records.
+    san = Sanitizer()
+    san.record_payload_alias("RosterActor", "broadcast", "self.members")
+    san.record_unpicklable_payload("StreamActor", "publish", "generator")
+    report = san.report()
+    assert report["ok"] is True
+    kinds = [(e["kind"], e["sender"], e["method"])
+             for e in report["payload_events"]]
+    assert kinds == [("alias", "RosterActor", "broadcast"),
+                     ("unpicklable", "StreamActor", "publish")]
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,413 @@
+"""Unit tests for the cross-backend portability pass: the picklability
+lattice, the escape scanner, and each XB rule's fire/stay-silent
+contract on minimal synthetic modules."""
+
+import ast
+import os
+import textwrap
+
+from repro.analysis.flow import build_index
+from repro.analysis.linter import lint_paths
+from repro.analysis.xbackend import analyze_xbackend, run_xb_rules
+from repro.analysis.xbackend.escape import (
+    AliasFacts,
+    mutable_fields,
+    send_sites,
+    yield_lines,
+)
+from repro.analysis.xbackend.lattice import (
+    PICKLABLE,
+    UNKNOWN,
+    MethodPickleEnv,
+    classify,
+)
+from repro.analysis.xbackend.rules import (
+    XB_ALIASED_MUTABLE,
+    XB_AWAIT_TURN_SPLIT,
+    XB_UNPERSISTED_RESTORE,
+    XB_UNPICKLABLE_PAYLOAD,
+    all_xb_rules,
+)
+
+REPO = os.path.join(os.path.dirname(__file__), "..", "..")
+FIXTURE = os.path.join("tests", "fixtures", "xbackend_violations.py")
+
+#: Stand-ins every snippet shares: the index keys off the names, so
+#: in-file definitions behave like the real substrate.
+PRELUDE = '''
+class Actor:
+    pass
+
+
+class ActorRef:
+    def __init__(self, actor_type, key):
+        self.actor_type = actor_type
+        self.key = key
+
+
+class Call:
+    def __init__(self, target, method, *args, **kwargs):
+        self.args = args
+
+
+class Tell:
+    def __init__(self, target, method, *args, **kwargs):
+        self.args = args
+'''
+
+
+def _findings(source, path="mod.py"):
+    index = build_index([(path, PRELUDE + textwrap.dedent(source))])
+    return run_xb_rules(index)
+
+
+def _rules_fired(findings):
+    return {f.rule for f in findings}
+
+
+# -------------------------------------------------------------- lattice
+
+
+def _classify_src(expr_src):
+    return classify(ast.parse(expr_src, mode="eval").body, None, None)
+
+
+def test_lattice_constants_and_containers_are_picklable():
+    assert _classify_src("42").level == PICKLABLE.level
+    assert _classify_src("[1, 'a', (2.0, None)]").level == PICKLABLE.level
+
+
+def test_lattice_generator_and_lambda_are_unpicklable():
+    assert _classify_src("(x for x in range(3))").unpicklable
+    assert _classify_src("lambda: 1").unpicklable
+
+
+def test_lattice_container_join_taints_whole_literal():
+    assert _classify_src("[1, lambda: 1]").unpicklable
+    assert _classify_src("{'k': (x for x in y)}").unpicklable
+
+
+def test_lattice_unknown_name_stays_unknown_not_unpicklable():
+    verdict = _classify_src("some_param")
+    assert verdict.level == UNKNOWN.level
+    assert not verdict.unpicklable
+
+
+def test_lattice_env_tracks_local_bindings_through_joins():
+    fn = ast.parse(textwrap.dedent('''
+        def f(flag):
+            x = 1
+            if flag:
+                x = open("f")
+            y = "ok"
+    ''')).body[0]
+    env = MethodPickleEnv(fn, None, None).env
+    assert env["x"].unpicklable          # any path taints the name
+    assert env["y"].level == PICKLABLE.level
+
+
+# ------------------------------------------------------------ scanners
+
+
+def test_send_sites_and_yield_lines_exclude_nested_defs():
+    fn = ast.parse(textwrap.dedent('''
+        def outer(self):
+            yield Call(ref, "m", 1)
+            def inner():
+                yield Call(ref, "n", 2)
+    ''')).body[0]
+    sites = send_sites(fn)
+    assert [s.kind for s in sites] == ["Call", "Call"]
+    assert len(yield_lines(fn)) == 1     # inner's yield is not outer's
+
+
+def test_alias_facts_track_field_aliases_and_local_mutations():
+    fn = ast.parse(textwrap.dedent('''
+        def m(self):
+            snapshot = self.members
+            batch = []
+            batch.append(1)
+            self.kept = batch
+    ''')).body[0]
+    facts = AliasFacts.collect(fn)
+    assert facts.field_aliases.get("snapshot") == {"members"}
+    assert "batch" in facts.mutable_locals
+    assert "batch" in facts.local_mutations
+    assert "batch" in facts.stored_locals
+
+
+# ------------------------------------------------- XB-ALIASED-MUTABLE
+
+
+def test_aliased_mutable_fires_on_self_field_payload():
+    findings = _findings('''
+        class RosterActor(Actor):
+            def __init__(self):
+                self.members = []
+
+            def grow(self, who):
+                self.members.append(who)
+
+            def broadcast(self):
+                yield Call(ActorRef("peer", 0), "sync", self.members)
+    ''')
+    assert _rules_fired(findings) == {XB_ALIASED_MUTABLE}
+
+
+def test_aliased_mutable_fires_on_local_alias_of_mutable_field():
+    findings = _findings('''
+        class RosterActor(Actor):
+            def __init__(self):
+                self.members = []
+
+            def grow(self, who):
+                self.members.append(who)
+
+            def broadcast(self):
+                snapshot = self.members
+                yield Call(ActorRef("peer", 0), "sync", snapshot)
+    ''')
+    assert _rules_fired(findings) == {XB_ALIASED_MUTABLE}
+
+
+def test_aliased_mutable_fires_on_local_mutated_after_send():
+    findings = _findings('''
+        class BatchActor(Actor):
+            def flush(self):
+                batch = []
+                yield Tell(ActorRef("peer", 0), "sync", batch)
+                batch.append(1)
+    ''')
+    assert _rules_fired(findings) == {XB_ALIASED_MUTABLE}
+
+
+def test_aliased_mutable_silent_on_immutable_snapshot():
+    findings = _findings('''
+        class RosterActor(Actor):
+            def __init__(self):
+                self.members = []
+
+            def grow(self, who):
+                self.members.append(who)
+
+            def broadcast(self):
+                yield Call(ActorRef("peer", 0), "sync", tuple(self.members))
+    ''')
+    assert XB_ALIASED_MUTABLE not in _rules_fired(findings)
+
+
+def test_aliased_mutable_silent_on_fresh_untouched_local():
+    # A mutable local that is sent once and never mutated afterwards nor
+    # stored into self cannot alias anything the sender still sees.
+    findings = _findings('''
+        class OneShotActor(Actor):
+            def emit(self):
+                payload = [1, 2, 3]
+                yield Tell(ActorRef("peer", 0), "sync", payload)
+    ''')
+    assert XB_ALIASED_MUTABLE not in _rules_fired(findings)
+
+
+# ---------------------------------------------- XB-UNPICKLABLE-PAYLOAD
+
+
+def test_unpicklable_fires_on_generator_payload():
+    findings = _findings('''
+        class StreamActor(Actor):
+            def publish(self):
+                yield Tell(ActorRef("peer", 0), "sync",
+                           (x for x in range(3)))
+    ''')
+    assert _rules_fired(findings) == {XB_UNPICKLABLE_PAYLOAD}
+
+
+def test_unpicklable_fires_on_runtime_handle_field():
+    findings = _findings('''
+        class LeakActor(Actor):
+            def leak(self):
+                yield Tell(ActorRef("peer", 0), "sync", self._engine)
+    ''')
+    assert _rules_fired(findings) == {XB_UNPICKLABLE_PAYLOAD}
+
+
+def test_unpicklable_fires_through_local_binding():
+    findings = _findings('''
+        class FileActor(Actor):
+            def ship(self):
+                handle = open("data.txt")
+                yield Call(ActorRef("peer", 0), "sync", handle)
+    ''')
+    assert _rules_fired(findings) == {XB_UNPICKLABLE_PAYLOAD}
+
+
+def test_unpicklable_silent_on_unknown_passthrough():
+    # Over-approximate but quiet: an opaque parameter is UNKNOWN, and
+    # UNKNOWN never fires (only proven-unpicklable does).
+    findings = _findings('''
+        class RelayActor(Actor):
+            def relay(self, payload):
+                yield Tell(ActorRef("peer", 0), "sync", payload)
+    ''')
+    assert XB_UNPICKLABLE_PAYLOAD not in _rules_fired(findings)
+
+
+# ------------------------------------------------- XB-AWAIT-TURN-SPLIT
+
+
+def test_turn_split_fires_on_reentrant_write_straddle():
+    findings = _findings('''
+        class SplitActor(Actor):
+            REENTRANT = True
+
+            def __init__(self):
+                self.balance = 0
+
+            def transfer(self, n):
+                self.balance -= n
+                yield Call(ActorRef("peer", 0), "sync", n)
+                self.balance += n
+    ''')
+    assert _rules_fired(findings) == {XB_AWAIT_TURN_SPLIT}
+
+
+def test_turn_split_silent_when_not_reentrant():
+    findings = _findings('''
+        class SplitActor(Actor):
+            REENTRANT = False
+
+            def __init__(self):
+                self.balance = 0
+
+            def transfer(self, n):
+                self.balance -= n
+                yield Call(ActorRef("peer", 0), "sync", n)
+                self.balance += n
+    ''')
+    assert XB_AWAIT_TURN_SPLIT not in _rules_fired(findings)
+
+
+def test_turn_split_silent_when_writes_on_one_side():
+    findings = _findings('''
+        class TallyActor(Actor):
+            REENTRANT = True
+
+            def __init__(self):
+                self.count = 0
+
+            def bump(self, n):
+                self.count += n
+                yield Tell(ActorRef("peer", 0), "sync", n)
+    ''')
+    assert XB_AWAIT_TURN_SPLIT not in _rules_fired(findings)
+
+
+# ---------------------------------------------- XB-UNPERSISTED-RESTORE
+
+
+def test_unpersisted_fires_on_field_outside_declared_set():
+    findings = _findings('''
+        class CheckpointActor(Actor):
+            PERSISTED = ("committed",)
+
+            def __init__(self):
+                self.committed = 0
+                self.staged = 0
+
+            def stage(self, n):
+                self.staged += n
+    ''')
+    assert _rules_fired(findings) == {XB_UNPERSISTED_RESTORE}
+
+
+def test_unpersisted_silent_on_declared_and_private_fields():
+    findings = _findings('''
+        class CheckpointActor(Actor):
+            PERSISTED = ("committed",)
+
+            def __init__(self):
+                self.committed = 0
+                self._scratch = 0
+
+            def commit(self, n):
+                self.committed += n
+                self._scratch += 1
+    ''')
+    assert XB_UNPERSISTED_RESTORE not in _rules_fired(findings)
+
+
+def test_unpersisted_silent_without_persisted_declaration():
+    findings = _findings('''
+        class FreeActor(Actor):
+            def __init__(self):
+                self.anything = 0
+
+            def bump(self):
+                self.anything += 1
+    ''')
+    assert XB_UNPERSISTED_RESTORE not in _rules_fired(findings)
+
+
+# ------------------------------------------------ fixture + integration
+
+
+def test_fixture_fires_exactly_the_four_xb_rules():
+    with open(os.path.join(REPO, FIXTURE), "r", encoding="utf-8") as fh:
+        source = fh.read()
+    _index, findings = analyze_xbackend([(FIXTURE, source)])
+    fired = [f.rule for f in findings]
+    assert sorted(fired) == sorted(r.name for r in all_xb_rules())
+    assert len(fired) == 4               # one finding per rule, no extras
+
+
+def test_repo_tree_is_xb_clean():
+    report = lint_paths(base=REPO, xbackend=True)
+    xb = [f for f in report.active if f.rule.startswith("XB-")]
+    assert xb == []
+
+
+def test_waiver_suppresses_xb_finding(tmp_path):
+    src = PRELUDE + textwrap.dedent('''
+        class StreamActor(Actor):
+            def publish(self):
+                # repro: waive[XB-UNPICKLABLE-PAYLOAD] -- single-process demo
+                yield Tell(ActorRef("peer", 0), "sync",
+                           (x for x in range(3)))
+    ''')
+    mod = tmp_path / "mod.py"
+    mod.write_text(src)
+    report = lint_paths([str(mod)], base=str(tmp_path), xbackend=True)
+    assert report.ok
+    waived = [f for f in report.waived if f.rule == XB_UNPICKLABLE_PAYLOAD]
+    assert len(waived) == 1
+    assert waived[0].justification == "single-process demo"
+
+
+def test_unwaived_xb_finding_fails_the_report(tmp_path):
+    src = PRELUDE + textwrap.dedent('''
+        class StreamActor(Actor):
+            def publish(self):
+                yield Tell(ActorRef("peer", 0), "sync",
+                           (x for x in range(3)))
+    ''')
+    mod = tmp_path / "mod.py"
+    mod.write_text(src)
+    report = lint_paths([str(mod)], base=str(tmp_path), xbackend=True)
+    assert not report.ok
+    assert XB_UNPICKLABLE_PAYLOAD in {f.rule for f in report.active}
+
+
+def test_mutable_fields_sees_initializers_and_mutators():
+    index = build_index([("mod.py", PRELUDE + textwrap.dedent('''
+        class MixedActor(Actor):
+            def __init__(self):
+                self.items = []
+                self.count = 0
+
+            def add(self, x):
+                self.items.append(x)
+                self.count += 1
+    '''))])
+    cls = next(c for c in index.all_classes() if c.name == "MixedActor")
+    fields = mutable_fields(cls)
+    assert "items" in fields
+    assert "count" not in fields         # numbers are not aliasable
