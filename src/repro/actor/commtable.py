@@ -78,6 +78,17 @@ class CommTable:
         self._weights = array("d")
         return zip(zip(src, dst), weights)
 
+    def merge(self, other: "CommTable") -> None:
+        """Exact merge: add ``other``'s counters edge by edge.
+
+        Edges new to ``self`` are appended in ``other``'s insertion
+        order, so merging per-silo tables in silo order (as the window
+        barrier does) yields one deterministic combined order.
+        ``other`` is left untouched.
+        """
+        for (src, dst), weight in other.items():
+            self.record(src, dst, weight)
+
     def clear(self) -> None:
         self._index = {}
         del self._src[:]

@@ -7,10 +7,16 @@ hash and the entry's stat fields are refreshed.  Entries also carry a
 ruleset signature (rule names + selection + package version) so adding
 or selecting rules invalidates stale results.
 
-Only the *per-file* pass is cached.  The flow pass is interprocedural —
-any file can change another file's findings — so it is recomputed on
-every run (it is one sweep over already-parsed sources, not the
-dominant cost).
+The project-wide passes (FLOW/XB/PAR) are interprocedural — any file
+can change another file's findings — so they cannot be cached per file.
+:class:`ProjectCache` caches them at the only granularity that is
+sound: the whole tree.  One ``project.json`` entry keyed by the ruleset
+signature plus a *tree signature* (sha256 over every file's path and
+content hash, in sorted order) stores each pass's raw findings and
+side documents (interaction graph, lookahead report); any edit to any
+file changes the tree signature and invalidates every project entry at
+once.  Waivers and rule selection are re-applied by the linter on load,
+so the cache stores analysis results, not policy.
 """
 
 from __future__ import annotations
@@ -18,11 +24,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .findings import Finding
 
-__all__ = ["LintCache", "DEFAULT_CACHE_DIR"]
+__all__ = ["LintCache", "ProjectCache", "DEFAULT_CACHE_DIR"]
 
 DEFAULT_CACHE_DIR = ".repro-lint-cache"
 
@@ -117,3 +123,85 @@ def _finding_doc(finding: Finding) -> dict:
     # round-trip exact regardless.
     doc["justification"] = finding.justification
     return doc
+
+
+def tree_signature(sources: Sequence[Tuple[str, str]],
+                   ruleset_signature: str = "") -> str:
+    """Whole-tree signature: sha256 over every ``(relpath, sha256)``
+    pair in sorted order, salted with the ruleset signature.  Any edit,
+    addition, or removal of any file changes it."""
+    sha = hashlib.sha256()
+    sha.update(ruleset_signature.encode("utf-8"))
+    for rel, source in sorted(sources):
+        sha.update(b"\x00")
+        sha.update(rel.replace("\\", "/").encode("utf-8"))
+        sha.update(b"\x00")
+        sha.update(_sha256(source.encode("utf-8")).encode("utf-8"))
+    return sha.hexdigest()[:32]
+
+
+class ProjectCache:
+    """Whole-tree cache for the project-wide passes (see module doc).
+
+    ``get``/``put`` trade ``{"findings": [Finding, ...], **extras}``
+    per family ("flow", "xbackend", "par"); extras are JSON documents
+    (the interaction-graph dict, the lookahead report).  ``save()``
+    persists staged results; entries from a previous run with the same
+    signatures survive a partial run (e.g. ``--flow`` then
+    ``--flow --par`` reuses the flow entry and adds the par one).
+    """
+
+    _SCHEMA = 1
+
+    def __init__(self, root: str, ruleset_signature: str,
+                 sources: Sequence[Tuple[str, str]]):
+        self.root = root
+        self.signature = ruleset_signature
+        self.tree = tree_signature(sources, ruleset_signature)
+        self.path = os.path.join(root, "project.json")
+        self._families: Dict[str, dict] = {}
+        self._dirty = False
+        os.makedirs(root, exist_ok=True)
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            return
+        if (entry.get("schema") == self._SCHEMA
+                and entry.get("signature") == self.signature
+                and entry.get("tree") == self.tree
+                and isinstance(entry.get("families"), dict)):
+            self._families = entry["families"]
+
+    def get(self, family: str) -> Optional[dict]:
+        """Cached results for one pass, or None.  Returns a dict with
+        ``findings`` rebuilt as :class:`Finding` objects plus whatever
+        extras ``put`` stored."""
+        doc = self._families.get(family)
+        if not isinstance(doc, dict) or "findings" not in doc:
+            return None
+        try:
+            findings = [Finding.from_dict(d) for d in doc["findings"]]
+        except (KeyError, TypeError, ValueError):
+            return None
+        out = {k: v for k, v in doc.items() if k != "findings"}
+        out["findings"] = findings
+        return out
+
+    def put(self, family: str, findings: List[Finding],
+            extras: dict) -> None:
+        doc = dict(extras)
+        doc["findings"] = [_finding_doc(f) for f in findings]
+        self._families[family] = doc
+        self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        LintCache._write(self.path, {
+            "schema": self._SCHEMA,
+            "signature": self.signature,
+            "tree": self.tree,
+            "families": self._families,
+        })
+        self._dirty = False

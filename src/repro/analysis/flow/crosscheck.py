@@ -68,9 +68,11 @@ def crosscheck_halo(static_graph, requests: int = 2_000,
 
     Returns a JSON-able report; ``ok`` iff observed ⊆ static.
     """
+    from ..coverage import missing_from_static
+
     static_pairs = set(static_graph.type_edge_weights())
     dynamic, meta = dynamic_type_edges(requests=requests, seed=seed)
-    missing = sorted(pair for pair in dynamic if pair not in static_pairs)
+    missing = missing_from_static(static_pairs, dynamic)
     return {
         "schema": 1,
         "slice": meta,

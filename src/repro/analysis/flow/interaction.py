@@ -24,7 +24,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 from .cfg import CallSite, MethodEval
 from .index import ProjectIndex
 
-__all__ = ["Edge", "InteractionGraph", "build_graph"]
+__all__ = ["Edge", "GraphView", "InteractionGraph", "build_graph"]
 
 TypeSet = FrozenSet[str]
 EMPTY: TypeSet = frozenset()
@@ -308,7 +308,7 @@ class InteractionGraph:
         vertices = sorted({e.caller_type for e in self.edges}
                           | {e.target_type for e in self.edges})
         return {
-            "schema": 1,
+            "schema": 2,
             "format": "comm_graph/edges",
             "vertices": vertices,
             "edges": [[u, v, w] for (u, v), w in
@@ -321,8 +321,48 @@ class InteractionGraph:
                 }
                 for e in self.edges
             ],
+            # schema 2: client entry points survive the round trip so a
+            # cached graph can still answer client_sites().
+            "client_sites": sorted(f"{s.path}:{s.line}"
+                                   for s in self.client_sites()),
             "rounds": self.rounds,
         }
+
+
+class GraphView:
+    """Read-only interaction graph rebuilt from a :meth:`to_dict` doc.
+
+    Served by the project-level lint cache on warm ``--flow`` hits so
+    the CLI's summary line, ``--flow-graph`` export, and the
+    graph-crosscheck all work without re-running the interprocedural
+    evaluator.  Only the query surface those consumers use is
+    reconstructed; construction queries raise ``AttributeError``.
+    """
+
+    def __init__(self, doc: dict):
+        self._doc = doc
+        self.rounds = doc.get("rounds", 0)
+        self.edges: List[Edge] = []
+        for e in doc.get("directed_edges", []):
+            site = e.get("site", ":0")
+            path, _, line = site.rpartition(":")
+            self.edges.append(Edge(
+                caller_type=e["caller"], caller_method=e.get("caller_method"),
+                target_type=e["target"], target_method=e.get("target_method"),
+                kind=e["kind"], path=path,
+                line=int(line) if line.isdigit() else 0))
+
+    def to_dict(self) -> dict:
+        return self._doc
+
+    def actor_edges(self) -> List[Edge]:
+        return [e for e in self.edges if e.caller_type != "<client>"]
+
+    def client_sites(self) -> List[str]:
+        return list(self._doc.get("client_sites", []))
+
+    def type_edge_weights(self) -> Dict[Tuple[str, str], int]:
+        return {(u, v): w for u, v, w in self._doc.get("edges", [])}
 
 
 def build_graph(index: ProjectIndex) -> InteractionGraph:

@@ -5,15 +5,20 @@ The contract matching the other ``repro`` subcommands: the run *fails*
 still listed (with their justification) so the report is an audit trail
 of every exemption in the tree.
 
-Three passes share the report.  The per-file pass runs every registered
+Four passes share the report.  The per-file pass runs every registered
 :class:`~repro.analysis.framework.Rule` on one module at a time (and is
-the part the ``--cache`` result cache can skip).  The opt-in flow pass
-(``flow=True``) builds the project-wide index + interaction graph from
-:mod:`repro.analysis.flow` over the *same* file set and merges the
-interprocedural FLOW findings in; waivers apply to them identically.
-The opt-in cross-backend pass (``xbackend=True``) runs the XB
-portability rules from :mod:`repro.analysis.xbackend` over the same
-index machinery, same waiver semantics.
+the part the ``--cache`` per-file result cache can skip).  The opt-in
+flow pass (``flow=True``) builds the project-wide index + interaction
+graph from :mod:`repro.analysis.flow` over the *same* file set and
+merges the interprocedural FLOW findings in; waivers apply to them
+identically.  The opt-in cross-backend pass (``xbackend=True``) runs
+the XB portability rules from :mod:`repro.analysis.xbackend` over the
+same index machinery, and the opt-in parallel-readiness pass
+(``par=True``) runs the PAR sharding rules + lookahead inference from
+:mod:`repro.analysis.par` — same waiver semantics throughout.  With
+``cache_dir`` set, the project-wide passes are cached too, keyed by a
+whole-tree signature (every file's hash), so a clean re-run skips the
+interprocedural work entirely.
 
 Findings are deduplicated per (path, line, rule) and reported in
 deterministic (path, line, rule) order regardless of traversal order.
@@ -49,8 +54,14 @@ class LintReport:
     parse_errors: list[Finding] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
-    #: The InteractionGraph when the flow pass ran (lint_paths(flow=True)).
+    #: Project-level cache counters (one hit/miss per cached pass).
+    project_cache_hits: int = 0
+    project_cache_misses: int = 0
+    #: The InteractionGraph when the flow pass ran (lint_paths(flow=True));
+    #: a read-only GraphView on a warm project-cache hit.
     flow_graph: Optional[object] = None
+    #: The lookahead report when the PAR pass ran (lint_paths(par=True)).
+    par_report: Optional[dict] = None
 
     @property
     def active(self) -> list[Finding]:
@@ -204,18 +215,20 @@ def _collect_files(paths: Sequence[str],
 def _ruleset_signature(rules: Optional[Iterable[str]]) -> str:
     """Cache key component covering *what analysis would run*: the
     analysis-version stamp (bumped on any rule-logic change), every
-    registered rule name in every family (per-file, FLOW, XB — a new
-    rule in any family must invalidate cached results), the package
+    registered rule name in every family (per-file, FLOW, XB, PAR — a
+    new rule in any family must invalidate cached results), the package
     version, and the rule selection."""
     import hashlib
 
     from .flow.rules import all_flow_rules
+    from .par.rules import all_par_rules
     from .version import ANALYSIS_VERSION
     from .xbackend.rules import all_xb_rules
 
     names = sorted(r.name for r in all_rules())
     names += sorted(r.name for r in all_flow_rules())
     names += sorted(r.name for r in all_xb_rules())
+    names += sorted(r.name for r in all_par_rules())
     selected = sorted(rules) if rules is not None else ["*"]
     try:
         from .. import __version__ as version
@@ -230,6 +243,7 @@ def lint_paths(paths: Sequence[str] = DEFAULT_ROOTS, base: str = ".",
                rules: Optional[Iterable[str]] = None,
                flow: bool = False,
                xbackend: bool = False,
+               par: bool = False,
                cache_dir: Optional[str] = None) -> LintReport:
     """Lint every ``.py`` file under each of ``paths`` (files or dirs),
     resolved against ``base``; findings report base-relative paths.
@@ -238,9 +252,15 @@ def lint_paths(paths: Sequence[str] = DEFAULT_ROOTS, base: str = ".",
     same file set and merges the interprocedural FLOW findings.
     ``xbackend=True`` runs the cross-backend portability pass (the XB
     family) over the same file set and merges its findings.
-    ``cache_dir`` enables the per-file result cache (flow/XB findings
-    are never cached: any file can change another file's project-wide
-    findings).
+    ``par=True`` runs the parallel-sharding readiness pass (the PAR
+    family + lookahead report) over the same file set.
+    ``cache_dir`` enables the per-file result cache *and* the
+    project-level cache: project-wide pass results (raw findings,
+    interaction-graph document, lookahead report) are keyed by a
+    whole-tree signature over every file's content hash, so a clean
+    re-run skips the interprocedural fixpoint entirely.  Waivers and
+    rule selection are re-applied on every load — they derive from the
+    same sources the signature covers.
     """
     report = LintReport()
     cache = None
@@ -272,7 +292,7 @@ def lint_paths(paths: Sequence[str] = DEFAULT_ROOTS, base: str = ".",
 
     selected = set(rules) if rules is not None else None
     waiver_map = None
-    if flow or xbackend:
+    if flow or xbackend or par:
         waiver_map = {rel: parse_waivers(src) for rel, src in sources}
 
     def _merge_project_findings(findings: Iterable[Finding]) -> None:
@@ -286,18 +306,67 @@ def lint_paths(paths: Sequence[str] = DEFAULT_ROOTS, base: str = ".",
                 [finding], waiver_map.get(finding.path, [])))
         report.findings.extend(merged)
 
-    if flow:
-        from .flow import analyze_files
+    project = None
+    if cache is not None and (flow or xbackend or par):
+        from .cache import ProjectCache
+        project = ProjectCache(cache_dir, cache.signature, sources)
 
-        _index, graph, flow_findings = analyze_files(sources)
-        report.flow_graph = graph
+    def _project_get(family: str):
+        if project is None:
+            return None
+        entry = project.get(family)
+        if entry is None:
+            report.project_cache_misses += 1
+        else:
+            report.project_cache_hits += 1
+        return entry
+
+    if flow:
+        cached = _project_get("flow")
+        if cached is not None:
+            from .flow.interaction import GraphView
+
+            flow_findings = cached["findings"]
+            report.flow_graph = GraphView(cached["graph"])
+        else:
+            from .flow import analyze_files
+
+            _index, graph, flow_findings = analyze_files(sources)
+            report.flow_graph = graph
+            if project is not None:
+                project.put("flow", flow_findings,
+                            {"graph": graph.to_dict()})
         _merge_project_findings(flow_findings)
 
     if xbackend:
-        from .xbackend import analyze_xbackend
+        cached = _project_get("xbackend")
+        if cached is not None:
+            xb_findings = cached["findings"]
+        else:
+            from .xbackend import analyze_xbackend
 
-        _xb_index, xb_findings = analyze_xbackend(sources)
+            _xb_index, xb_findings = analyze_xbackend(sources)
+            if project is not None:
+                project.put("xbackend", xb_findings, {})
         _merge_project_findings(xb_findings)
+
+    if par:
+        cached = _project_get("par")
+        if cached is not None:
+            par_findings = cached["findings"]
+            report.par_report = cached["lookahead"]
+        else:
+            from .par import analyze_par, lookahead_report
+
+            par_index, par_graph, par_findings = analyze_par(sources)
+            report.par_report = lookahead_report(par_index, par_graph)
+            if project is not None:
+                project.put("par", par_findings,
+                            {"lookahead": report.par_report})
+        _merge_project_findings(par_findings)
+
+    if project is not None:
+        project.save()
 
     return report.finalize()
 

@@ -1,0 +1,69 @@
+"""Parallel-sharding readiness analysis (the PAR rule family).
+
+Static side: lookahead inference over every discovered network model
+(:mod:`.lookahead`) plus five sharding-readiness rules (:mod:`.rules`)
+over the flow pass's project index *and* interaction graph, emitting
+``PAR-*`` findings through the standard lint pipeline.  The lookahead
+report (``repro lint --par-graph``) is the synchronization-window
+input the future sharded engine consumes.
+
+Dynamic side: the window shadow (:mod:`.shadow`) partitions the serial
+event stream into per-silo conservative windows and records every
+same-window cross-silo delivery on the sanitizer;
+:mod:`.crosscheck` verifies static ⊇ dynamic on seeded Halo and
+Stageflow slices, exactly as ``--graph-check`` and ``--xb-check`` do.
+
+Entry point for the linter: :func:`analyze_par`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..findings import Finding, Severity
+from ..flow.index import ProjectIndex, build_index
+from ..flow.interaction import InteractionGraph, build_graph
+from .crosscheck import (
+    crosscheck_window_events,
+    crosscheck_windows,
+    format_par_crosscheck,
+)
+from .lookahead import (
+    compute_edge_lookaheads,
+    discover_models,
+    lookahead_report,
+    min_model_latency,
+)
+from .rules import PARRule, all_par_rules, run_par_rules
+from .shadow import WindowShadow
+
+__all__ = [
+    "PARRule",
+    "WindowShadow",
+    "all_par_rules",
+    "analyze_par",
+    "compute_edge_lookaheads",
+    "crosscheck_window_events",
+    "crosscheck_windows",
+    "discover_models",
+    "format_par_crosscheck",
+    "lookahead_report",
+    "min_model_latency",
+    "run_par_rules",
+]
+
+
+def analyze_par(files: Sequence[Tuple[str, str]],
+                ) -> Tuple[ProjectIndex, InteractionGraph, List[Finding]]:
+    """Index ``(relpath, source)`` pairs, build the interaction graph,
+    and run every PAR rule.  Parse failures become findings (the
+    per-file pass reports them too; the linter deduplicates)."""
+    index = build_index(files)
+    graph = build_graph(index)
+    findings = run_par_rules(index, graph)
+    for path, line, msg in index.parse_failures:
+        findings.append(Finding(
+            rule="PARSE-ERROR", severity=Severity.ERROR,
+            path=path, line=line, message=f"file does not parse: {msg}"))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return index, graph, findings

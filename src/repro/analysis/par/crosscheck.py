@@ -1,0 +1,161 @@
+"""Static ⊇ dynamic cross-check for the PAR window discipline.
+
+Third instance of the house contract (after ``--graph-check`` and
+``--xb-check``): the static analysis must over-approximate anything a
+real run observes.  Here the dynamic side is the window shadow
+(:mod:`.shadow`) riding two seeded serial slices — the Halo workload
+and the Stageflow pipeline — with the window width set to the *same*
+conservative floor :func:`..par.lookahead.min_model_latency` computes
+for each run's live network parameters.  Every recorded
+:class:`~repro.analysis.sanitizer.WindowEvent` is a cross-silo delivery
+the sharded engine's sealed windows could not accept.
+
+Coverage is *config-level*, not site-level: a window event carries silo
+ids, not a sender class/method, and same-window arrival is a property
+of the network configuration (its latency floor), not of one call
+site.  So the events of a run are covered iff the static pass reports
+at least one ``PAR-ZERO-LOOKAHEAD`` finding against the driven sources
+— on a tree whose configs all have positive floors, the check demands
+*zero* window events outright.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..coverage import crosscheck_presence, read_sources
+from ..sanitizer import Sanitizer
+from .lookahead import min_model_latency
+from .rules import PAR_ZERO_LOOKAHEAD
+from .shadow import WindowShadow
+
+__all__ = ["crosscheck_window_events", "crosscheck_windows",
+           "format_par_crosscheck"]
+
+
+def crosscheck_window_events(findings, events: Sequence) -> dict:
+    """Config-level coverage for window events (see module docstring)."""
+    return crosscheck_presence(findings, events, PAR_ZERO_LOOKAHEAD)
+
+
+def _drive_halo(requests: int = 2_000, seed: int = 5, players: int = 200,
+                num_servers: int = 3) -> Tuple[list, dict]:
+    """Seeded Halo slice with the shadow armed; same slice shape as the
+    flow graph check so the two dynamic validators agree on workload."""
+    from ...bench.harness import HaloExperiment
+
+    san = Sanitizer()
+    exp = HaloExperiment(players=players, num_servers=num_servers, seed=seed)
+    rt = exp.runtime
+    window = min_model_latency(rt.network.base_latency, rt.network.jitter)
+    shadow = WindowShadow(window, san).attach(rt.network)
+    exp.workload.start()
+    exp.cluster.start()
+    horizon = 0.0
+    while rt.requests_completed < requests and horizon < 120.0:
+        horizon += 1.0
+        rt.run(until=horizon)
+    meta = shadow.to_dict()
+    meta.update({
+        "slice": "halo",
+        "requests_completed": rt.requests_completed,
+        "horizon_s": horizon,
+        "players": players,
+        "num_servers": num_servers,
+        "seed": seed,
+    })
+    return list(san.window_events), meta
+
+
+def _drive_stageflow(requests: int = 40, seed: int = 7) -> Tuple[list, dict]:
+    """Seeded Stageflow slice on the serial engine with the shadow
+    armed; same pipeline shape as the backend-parity suite."""
+    from ... import ClusterConfig, build_cluster
+    from ...workloads.stageflow import (
+        StageSpec,
+        StageflowConfig,
+        StageflowWorkload,
+    )
+
+    san = Sanitizer()
+    cluster = build_cluster(ClusterConfig(num_servers=4, seed=seed))
+    with cluster:
+        cluster.start()
+        rt = cluster.runtime
+        window = min_model_latency(rt.network.base_latency,
+                                   rt.network.jitter)
+        shadow = WindowShadow(window, san).attach(rt.network)
+        workload = StageflowWorkload(rt, StageflowConfig(
+            stages=(StageSpec("route", compute=50e-6, replicas=2),
+                    StageSpec("enrich", compute=100e-6,
+                              heavy_compute=200e-6, replicas=3),
+                    StageSpec("transform", compute=80e-6, replicas=2)),
+            policy="round_robin",
+            pipelines=2,
+            router_shards=2,
+            report_period=None,
+            heavy_fraction=0.3,
+        ))
+        workload.start(arrivals=False)
+        workload.drive(requests)
+        cluster.run()
+        meta = shadow.to_dict()
+        meta.update({
+            "slice": "stageflow",
+            "requests": requests,
+            "completed": workload.completed,
+            "num_servers": 4,
+            "seed": seed,
+        })
+    return list(san.window_events), meta
+
+
+def crosscheck_windows(paths: Sequence[str] = ("src/repro",),
+                       base: str = ".",
+                       requests: int = 2_000,
+                       seed: int = 5) -> dict:
+    """The CI cross-check: drive the seeded Halo and Stageflow slices
+    with the window shadow armed, statically analyze ``paths``, and
+    verify static ⊇ dynamic."""
+    from . import analyze_par
+
+    sources = read_sources(paths, base)
+    _index, _graph, findings = analyze_par(sources)
+
+    events: List = []
+    slices: List[dict] = []
+    for run_events, meta in (_drive_halo(requests=requests, seed=seed),
+                             _drive_stageflow()):
+        events.extend(run_events)
+        slices.append(meta)
+    report = crosscheck_window_events(findings, events)
+    report["slices"] = slices
+    report["static_findings"] = len(findings)
+    report["zero_lookahead_findings"] = sum(
+        1 for f in findings if f.rule == PAR_ZERO_LOOKAHEAD)
+    report["files_analyzed"] = len(sources)
+    return report
+
+
+def format_par_crosscheck(report: dict) -> str:
+    slices = report.get("slices", [])
+    lines = [
+        f"par crosscheck: {len(report.get('dynamic_events', []))} window "
+        f"event(s) over {len(slices)} slice(s), "
+        f"{report.get('static_findings', 0)} static finding(s)",
+    ]
+    for meta in slices:
+        lines.append(
+            f"  {meta.get('slice', '?')}: window {meta.get('window', 0):.3g}s, "
+            f"{meta.get('cross_silo', 0)} cross-silo of "
+            f"{meta.get('deliveries', 0)} deliveries, "
+            f"{meta.get('window_events', 0)} window event(s)")
+    for entry in report.get("uncovered", []):
+        lines.append(
+            f"  UNCOVERED window event silo {entry['src']} -> "
+            f"{entry['dst']} at t={entry['t_send']:.6f} "
+            f"(latency {entry['latency']:.3g}s < window "
+            f"{entry['window']:.3g}s) — no static "
+            f"{entry['expected_rule']} finding explains it")
+    lines.append("static ⊇ dynamic: " + ("OK" if report.get("ok") else "FAIL"))
+    return "\n".join(lines)

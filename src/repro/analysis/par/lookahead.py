@@ -1,0 +1,285 @@
+"""Lookahead inference: minimum cross-silo delivery latency.
+
+Conservative time-window synchronization (the sharded engine planned as
+ROADMAP item 1) steps every silo through windows of width ``W`` and
+exchanges messages only at window barriers.  That is sound exactly when
+every cross-silo message sent inside window ``k`` arrives in window
+``k+1`` or later — i.e. when ``W`` is at most the *minimum* delivery
+latency the network can ever produce (the classic PDES lookahead).
+
+This module infers that minimum statically.  The network model
+(:class:`repro.sim.network.Network`) draws ``base * lognormvariate(0,
+jitter)``, whose lower tail is unbounded — no positive window is sound
+against an arbitrarily lucky draw.  We therefore report a *4-sigma
+conservative floor*: ``base * exp(-SIGMAS * jitter)``, below which a
+draw lands with probability ~3.2e-5 per message.  The report says so
+explicitly (``sigmas``), and the sharded engine must still buffer the
+rare straggler; a *zero* floor (``base == 0``) is unconditionally
+unsound and is what ``PAR-ZERO-LOOKAHEAD`` fires on.
+
+Discovery is lexical in the house style: every ``ClusterConfig(...)``
+and ``Network(...)`` construction in the tree is a network model; its
+``network_latency`` / ``time_scale`` / ``base_latency`` / ``jitter``
+arguments are resolved to numeric constants where possible (module
+constants and literal arithmetic), otherwise the model is reported
+``unresolved`` with a null floor.  Per interaction-graph edge the
+lookahead is scoped: models discovered in the modules the edge's call
+sites live in win over the tree-wide minimum, which wins over the
+``ClusterConfig`` defaults.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..flow.index import ModuleInfo, ProjectIndex, _calls_with_context
+from ..rules import _attr_chain
+
+__all__ = ["LOOKAHEAD_SIGMAS", "DEFAULT_MIN_LATENCY", "NetworkModel",
+           "discover_models", "min_model_latency",
+           "compute_edge_lookaheads", "lookahead_report"]
+
+#: How many lognormal sigmas below the median the conservative floor
+#: sits.  P(Z < -4) ~= 3.2e-5 per delivery draw.
+LOOKAHEAD_SIGMAS = 4.0
+
+#: ``ClusterConfig`` network defaults, mirrored here so the analysis
+#: agrees with :class:`repro.actor.runtime.ClusterConfig` without
+#: importing the runtime.
+_DEFAULT_BASE = 0.0005
+_DEFAULT_JITTER = 0.1
+_DEFAULT_TIME_SCALE = 1.0
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """One statically discovered network configuration."""
+
+    path: str
+    line: int
+    kind: str                    # "ClusterConfig" | "Network"
+    base: Optional[float]        # effective base latency (None: unresolved)
+    jitter: Optional[float]
+    min_latency: Optional[float]  # conservative floor (None: unresolved)
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path, "line": self.line, "kind": self.kind,
+            "base": self.base, "jitter": self.jitter,
+            "min_latency": self.min_latency,
+        }
+
+
+def min_model_latency(base: float, jitter: float,
+                      sigmas: float = LOOKAHEAD_SIGMAS) -> float:
+    """Conservative floor of the latency distribution.
+
+    Exact for ``jitter <= 0`` (the draw is ``base`` itself); a
+    ``sigmas``-sigma lognormal quantile otherwise.
+    """
+    if base <= 0:
+        return 0.0
+    if jitter <= 0:
+        return base
+    return base * math.exp(-sigmas * jitter)
+
+
+DEFAULT_MIN_LATENCY = min_model_latency(_DEFAULT_BASE, _DEFAULT_JITTER)
+
+
+def _literal_num(node: ast.AST) -> Optional[float]:
+    if isinstance(node, ast.Constant) \
+            and isinstance(node.value, (int, float)) \
+            and not isinstance(node.value, bool):
+        return float(node.value)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _literal_num(node.operand)
+        return None if inner is None else -inner
+    return None
+
+
+def _numeric_constants(mod: ModuleInfo) -> Dict[str, float]:
+    """Module-level ``NAME = <number>`` assignments (the index keeps
+    only string constants; latency configs are numeric)."""
+    out: Dict[str, float] = {}
+    for stmt in mod.tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            value = _literal_num(stmt.value)
+            if value is not None:
+                out[stmt.targets[0].id] = value
+    return out
+
+
+def _resolve_num(node: ast.AST, consts: Mapping[str, float],
+                 ) -> Optional[float]:
+    """Resolve an argument expression to a number: literals, module
+    constants, and literal arithmetic over both.  ``None`` when the
+    value depends on runtime state (the model is then *unresolved*,
+    never guessed)."""
+    value = _literal_num(node)
+    if value is not None:
+        return value
+    if isinstance(node, ast.Name):
+        return consts.get(node.id)
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Add, ast.Sub, ast.Mult, ast.Div)):
+        left = _resolve_num(node.left, consts)
+        right = _resolve_num(node.right, consts)
+        if left is None or right is None:
+            return None
+        if isinstance(node.op, ast.Add):
+            return left + right
+        if isinstance(node.op, ast.Sub):
+            return left - right
+        if isinstance(node.op, ast.Mult):
+            return left * right
+        if right == 0:
+            return None
+        return left / right
+    return None
+
+
+def _keyword_args(call: ast.Call) -> Dict[str, ast.expr]:
+    return {kw.arg: kw.value for kw in call.keywords if kw.arg is not None}
+
+
+def _model_from_call(call: ast.Call, kind: str,
+                     consts: Mapping[str, float], path: str,
+                     ) -> NetworkModel:
+    kwargs = _keyword_args(call)
+    if kind == "ClusterConfig":
+        specs = [("network_latency", _DEFAULT_BASE, None),
+                 ("time_scale", _DEFAULT_TIME_SCALE, None),
+                 ("network_jitter", _DEFAULT_JITTER, None)]
+    else:                        # Network(sim, rng, base_latency, jitter)
+        specs = [("base_latency", _DEFAULT_BASE, 2),
+                 ("jitter", _DEFAULT_JITTER, 3)]
+    resolved: Dict[str, Optional[float]] = {}
+    for name, default, pos in specs:
+        node = kwargs.get(name)
+        if node is None and pos is not None and len(call.args) > pos:
+            node = call.args[pos]
+        resolved[name] = default if node is None else _resolve_num(node,
+                                                                   consts)
+    if kind == "ClusterConfig":
+        base = jitter = None
+        if resolved["network_latency"] is not None \
+                and resolved["time_scale"] is not None:
+            base = resolved["network_latency"] * resolved["time_scale"]
+        jitter = resolved["network_jitter"]
+    else:
+        base, jitter = resolved["base_latency"], resolved["jitter"]
+    floor = None
+    if base is not None and jitter is not None:
+        floor = min_model_latency(base, jitter)
+    return NetworkModel(path=path, line=call.lineno, kind=kind,
+                        base=base, jitter=jitter, min_latency=floor)
+
+
+def discover_models(index: ProjectIndex) -> List[NetworkModel]:
+    """Every ``ClusterConfig``/``Network`` construction in the tree, in
+    deterministic (path, line) order.  Matching is by last-name, like
+    the provenance evaluator, so fixture stand-ins count too."""
+    models: List[NetworkModel] = []
+    for path in sorted(index.modules):
+        mod = index.modules[path]
+        consts = _numeric_constants(mod)
+        for _cls, _fn, call in _calls_with_context(mod.tree, mod):
+            chain = _attr_chain(call.func)
+            if chain is None:
+                continue
+            last = chain.split(".")[-1]
+            if last not in ("ClusterConfig", "Network"):
+                continue
+            models.append(_model_from_call(call, last, consts, path))
+    models.sort(key=lambda m: (m.path, m.line, m.kind))
+    return models
+
+
+def compute_edge_lookaheads(
+        pairs: Sequence[Tuple[str, str]],
+        pair_paths: Mapping[Tuple[str, str], Iterable[str]],
+        models: Sequence[NetworkModel],
+        default_min: float = DEFAULT_MIN_LATENCY,
+) -> Dict[Tuple[str, str], Tuple[float, str]]:
+    """Per-edge lookahead: ``pair -> (lookahead, scope)``.
+
+    Scoping, most specific first: the minimum floor of resolved models
+    in the modules the edge's sites live in (``"module"``), else the
+    tree-wide minimum over all resolved models (``"global"``), else the
+    ``ClusterConfig`` defaults (``"default"``).
+
+    This is the pure core the monotonicity property pins: removing a
+    pair or raising any model's floor never *decreases* a reported
+    lookahead (min-composition over a fixed scope).
+    """
+    by_path: Dict[str, float] = {}
+    floors: List[float] = []
+    for model in models:
+        if model.min_latency is None:
+            continue
+        floors.append(model.min_latency)
+        prev = by_path.get(model.path)
+        if prev is None or model.min_latency < prev:
+            by_path[model.path] = model.min_latency
+    global_min = min(floors) if floors else None
+    out: Dict[Tuple[str, str], Tuple[float, str]] = {}
+    for pair in pairs:
+        scoped = [by_path[p] for p in sorted(set(pair_paths.get(pair, ())))
+                  if p in by_path]
+        if scoped:
+            out[pair] = (min(scoped), "module")
+        elif global_min is not None:
+            out[pair] = (global_min, "global")
+        else:
+            out[pair] = (default_min, "default")
+    return out
+
+
+def lookahead_report(index: ProjectIndex, graph) -> dict:
+    """The machine-readable lookahead report (``repro lint
+    --par-graph``): discovered models, per-edge lookaheads, and the
+    recommended synchronization window (the minimum edge lookahead).
+    Deterministic: pure arithmetic over the sorted index.
+    """
+    models = discover_models(index)
+    resolved = [m for m in models if m.min_latency is not None]
+    weights = graph.type_edge_weights()
+    pair_paths: Dict[Tuple[str, str], set] = {}
+    for edge in graph.actor_edges():
+        pair = tuple(sorted((edge.caller_type, edge.target_type)))
+        pair_paths.setdefault(pair, set()).add(edge.path)
+    pairs = sorted(weights)
+    lookaheads = compute_edge_lookaheads(pairs, pair_paths, models)
+    floors = [la for la, _scope in lookaheads.values()]
+    if floors:
+        window = min(floors)
+    elif resolved:
+        window = min(m.min_latency for m in resolved)
+    else:
+        window = DEFAULT_MIN_LATENCY
+    return {
+        "schema": 1,
+        "format": "par/lookahead",
+        "sigmas": LOOKAHEAD_SIGMAS,
+        "default_min_latency": DEFAULT_MIN_LATENCY,
+        "models": [m.to_dict() for m in models],
+        "resolved_models": len(resolved),
+        "unresolved_models": len(models) - len(resolved),
+        "global_min_latency": (min(m.min_latency for m in resolved)
+                               if resolved else None),
+        "edges": [
+            {
+                "pair": list(pair),
+                "weight": weights[pair],
+                "lookahead": lookaheads[pair][0],
+                "scope": lookaheads[pair][1],
+            }
+            for pair in pairs
+        ],
+        "window": window,
+    }

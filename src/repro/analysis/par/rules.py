@@ -1,0 +1,387 @@
+"""The PAR rule family: parallel-sharding readiness checks.
+
+ROADMAP item 1 shards the serial engine into silo processes stepped in
+conservative lookahead windows.  Five things break that silently — each
+is one rule here, each certifying one invariant the sharded engine
+assumes (the DESIGN.md PAR table maps them out):
+
+* **Window soundness** needs a positive minimum delivery latency; a
+  zero-latency network config makes every window width unsound
+  (``PAR-ZERO-LOOKAHEAD``).
+* **Process isolation** forks module globals per silo; mutable module
+  state an actor touches diverges between the serial and sharded runs
+  without an error (``PAR-GLOBAL-MUTABLE``).
+* **Partition freedom** lets the partitioner host any two actor types
+  on different silos; a mutable object aliased into a message to a
+  *different* type is shared memory today and two diverging copies
+  after sharding (``PAR-CROSS-SILO-CONFLICT``).
+* **Barrier merging** folds per-silo recorder state deterministically
+  at every window barrier, which needs ``merge()`` on every metric
+  type on the silo hot path (``PAR-NONMERGEABLE-METRIC``).
+* **State migration** moves activations between silo processes through
+  pickle; actor state the XB lattice proves unpicklable pins its silo
+  forever (``PAR-UNPORTABLE-SILO-STATE``).
+
+The rules run over the PR-5 project index *and* interaction graph and
+report through the standard Finding/waiver pipeline, so
+``# repro: waive[PAR-...] -- reason`` works unchanged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Dict, Iterator, List, Optional, Set, Tuple, Type
+
+from ..findings import Finding, Severity
+from ..flow.index import ClassInfo, ModuleInfo, ProjectIndex
+from ..rules import _attr_chain
+from ..xbackend.escape import (
+    _LOCAL_MUTATORS,
+    AliasFacts,
+    is_mutable_initializer,
+    mutable_fields,
+    send_sites,
+)
+from ..xbackend.lattice import MethodPickleEnv, classify
+from ..xbackend.rules import AliasedMutableRule, _sender_bodies, _site_desc
+from .lookahead import discover_models
+
+__all__ = ["PARRule", "all_par_rules", "run_par_rules",
+           "PAR_ZERO_LOOKAHEAD", "PAR_GLOBAL_MUTABLE",
+           "PAR_CROSS_SILO_CONFLICT", "PAR_NONMERGEABLE_METRIC",
+           "PAR_UNPORTABLE_SILO_STATE"]
+
+PAR_ZERO_LOOKAHEAD = "PAR-ZERO-LOOKAHEAD"
+PAR_GLOBAL_MUTABLE = "PAR-GLOBAL-MUTABLE"
+PAR_CROSS_SILO_CONFLICT = "PAR-CROSS-SILO-CONFLICT"
+PAR_NONMERGEABLE_METRIC = "PAR-NONMERGEABLE-METRIC"
+PAR_UNPORTABLE_SILO_STATE = "PAR-UNPORTABLE-SILO-STATE"
+
+#: Instance methods that mark a class as a metric/recorder on the silo
+#: hot path (the window barrier folds such state with ``merge()``).
+_METRIC_METHODS = ("observe", "offer", "record")
+
+_PAR_REGISTRY: List[Type["PARRule"]] = []
+
+
+class PARRule:
+    """One project-wide sharding-readiness rule over index + graph."""
+
+    name: ClassVar[str] = ""
+    severity: ClassVar[Severity] = Severity.ERROR
+    description: ClassVar[str] = ""
+    rationale: ClassVar[str] = ""
+
+    def check(self, index: ProjectIndex, graph) -> List[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, line: int, message: str) -> Finding:
+        return Finding(rule=self.name, severity=self.severity,
+                       path=path, line=line, message=message)
+
+
+def _register(cls: Type[PARRule]) -> Type[PARRule]:
+    _PAR_REGISTRY.append(cls)
+    return cls
+
+
+def all_par_rules() -> Tuple[Type[PARRule], ...]:
+    return tuple(_PAR_REGISTRY)
+
+
+@_register
+class ZeroLookaheadRule(PARRule):
+    name = PAR_ZERO_LOOKAHEAD
+    description = ("network configuration with a provably zero minimum "
+                   "delivery latency (no conservative window is sound)")
+    rationale = ("Conservative window synchronization is sound only when "
+                 "the window width is at most the minimum cross-silo "
+                 "delivery latency (the lookahead).  A config that proves "
+                 "the minimum is zero — base latency 0, or a zero time "
+                 "scale — admits same-instant cross-silo arrivals, so "
+                 "every window width is unsound and silos can never be "
+                 "stepped in parallel.  Give the network a positive base "
+                 "latency.")
+
+    def check(self, index: ProjectIndex, graph) -> List[Finding]:
+        findings: List[Finding] = []
+        for model in discover_models(index):
+            if model.min_latency is None or model.min_latency > 0:
+                continue
+            findings.append(self.finding(
+                model.path, model.line,
+                f"{model.kind}(...) resolves to a zero minimum delivery "
+                f"latency (base={model.base!r}): conservative window "
+                f"synchronization needs a positive lookahead, so with "
+                f"this config a cross-silo message can arrive in the "
+                f"same instant it was sent and no window width is sound "
+                f"— the program cannot be sharded across silos"))
+        findings.sort(key=lambda f: (f.path, f.line, f.message))
+        return findings
+
+
+def _module_bodies(mod: ModuleInfo) -> Iterator[
+        Tuple[Optional[ClassInfo], str, ast.AST]]:
+    """Every function body in one module with its owner label."""
+    for cls_name in sorted(mod.classes):
+        cls = mod.classes[cls_name]
+        for mname in sorted(cls.methods):
+            node = cls.methods[mname].node
+            if node is not None:
+                yield cls, f"{cls_name}.{mname}", node
+    for fname in sorted(mod.functions):
+        yield None, fname, mod.functions[fname]
+
+
+def _global_mutations(fn: ast.AST, names: Set[str]) -> Dict[str, int]:
+    """``name -> first line`` where ``fn`` mutates a module-level name:
+    a container-mutator call, item/augmented assignment, or a rebind
+    under a ``global`` declaration."""
+    declared: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            declared.update(n for n in node.names if n in names)
+    out: Dict[str, int] = {}
+
+    def hit(name: str, line: int) -> None:
+        if name in names and (name not in out or line < out[name]):
+            out[name] = line
+
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            if chain is not None:
+                parts = chain.split(".")
+                if len(parts) == 2 and parts[1] in _LOCAL_MUTATORS:
+                    hit(parts[0], node.lineno)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript) \
+                        and isinstance(target.value, ast.Name):
+                    hit(target.value.id, node.lineno)
+                elif isinstance(target, ast.Name) and target.id in declared:
+                    hit(target.id, node.lineno)
+        elif isinstance(node, ast.AugAssign):
+            target = node.target
+            if isinstance(target, ast.Name):
+                hit(target.id, node.lineno)
+            elif isinstance(target, ast.Subscript) \
+                    and isinstance(target.value, ast.Name):
+                hit(target.value.id, node.lineno)
+    return out
+
+
+@_register
+class GlobalMutableRule(PARRule):
+    name = PAR_GLOBAL_MUTABLE
+    description = ("module-level mutable state mutated somewhere and "
+                   "reachable from an actor method")
+    rationale = ("Sharding runs each silo in its own process, so module "
+                 "globals are *forked*, not shared: a mutable module "
+                 "object an actor reads while any code mutates it is one "
+                 "shared object in the serial run and N diverging copies "
+                 "in the sharded run — with no error, just different "
+                 "answers.  Move the state into an actor or pass it "
+                 "explicitly through messages.")
+
+    def check(self, index: ProjectIndex, graph) -> List[Finding]:
+        findings: List[Finding] = []
+        for path in sorted(index.modules):
+            mod = index.modules[path]
+            assigned: Dict[str, int] = {}
+            for stmt in mod.tree.body:
+                name = value = None
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                        and isinstance(stmt.targets[0], ast.Name):
+                    name, value = stmt.targets[0].id, stmt.value
+                elif isinstance(stmt, ast.AnnAssign) \
+                        and isinstance(stmt.target, ast.Name) \
+                        and stmt.value is not None:
+                    name, value = stmt.target.id, stmt.value
+                if name is not None and name not in assigned \
+                        and is_mutable_initializer(value):
+                    assigned[name] = stmt.lineno
+            if not assigned:
+                continue
+            names = set(assigned)
+            mutated: Dict[str, Tuple[str, int]] = {}
+            actor_readers: Dict[str, str] = {}
+            for cls, owner, fn in _module_bodies(mod):
+                for name, line in sorted(_global_mutations(fn, names).items()):
+                    if name not in mutated:
+                        mutated[name] = (owner, line)
+                if cls is not None and cls.is_actor:
+                    for node in ast.walk(fn):
+                        if isinstance(node, ast.Name) and node.id in names \
+                                and node.id not in actor_readers:
+                            actor_readers[node.id] = owner
+            for name in sorted(assigned):
+                if name not in mutated or name not in actor_readers:
+                    continue
+                owner, line = mutated[name]
+                findings.append(self.finding(
+                    mod.path, assigned[name],
+                    f"module-level mutable {name} is mutated by {owner} "
+                    f"(line {line}) and reachable from actor method "
+                    f"{actor_readers[name]}: silo processes fork module "
+                    f"globals, so the serial run shares one object while "
+                    f"the sharded run silently diverges per silo — move "
+                    f"the state into an actor or pass it in messages"))
+        findings.sort(key=lambda f: (f.path, f.line, f.message))
+        return findings
+
+
+@_register
+class CrossSiloConflictRule(PARRule):
+    name = PAR_CROSS_SILO_CONFLICT
+    description = ("mutable object aliased into a message to a different "
+                   "actor type (the partitioner may split the pair across "
+                   "silos)")
+    rationale = ("The partitioner is free to host any two actor *types* "
+                 "on different silos.  A mutable object the sender "
+                 "retains and also ships to another type is one shared "
+                 "object in the serial engine but lands in a different "
+                 "address space after sharding — same-instant mutable "
+                 "access that the window barrier cannot serialize.  Send "
+                 "an immutable snapshot (tuple(...), dict(...) copy) "
+                 "instead.")
+
+    def check(self, index: ProjectIndex, graph) -> List[Finding]:
+        site_targets: Dict[Tuple[str, int], Set[str]] = {}
+        for site in graph.sites:
+            if site.target_types:
+                key = (site.path, site.line)
+                site_targets.setdefault(key, set()).update(site.target_types)
+        findings: List[Finding] = []
+        for mod, cls, fname, fn in _sender_bodies(index):
+            if cls is None or not cls.is_actor:
+                continue
+            sites = send_sites(fn)
+            if not sites:
+                continue
+            own = set(index.types_for_class(cls))
+            shared = mutable_fields(cls)
+            facts = AliasFacts.collect(fn)
+            for site in sites:
+                targets = site_targets.get((mod.path, site.line), set())
+                others = sorted(targets - own)
+                if not others:
+                    continue
+                for arg in site.payload:
+                    hit = AliasedMutableRule._aliased(arg, site, shared,
+                                                     facts)
+                    if hit is None:
+                        continue
+                    findings.append(self.finding(
+                        mod.path, site.line,
+                        f"{cls.name}.{fname} sends {hit} to actor type(s) "
+                        f"{', '.join(others)} in {_site_desc(site)}: the "
+                        f"partitioner may host sender and target on "
+                        f"different silos, so the alias that is shared "
+                        f"memory in the serial engine becomes two "
+                        f"independently mutated copies under sharding; "
+                        f"send an immutable snapshot instead"))
+                    break       # one finding per send site is enough
+        findings.sort(key=lambda f: (f.path, f.line, f.message))
+        return findings
+
+
+@_register
+class NonmergeableMetricRule(PARRule):
+    name = PAR_NONMERGEABLE_METRIC
+    description = ("metric/recorder class on the silo hot path without a "
+                   "merge() for the deterministic window barrier")
+    rationale = ("At every window barrier the sharded engine folds "
+                 "per-silo recorder state into one deterministic global "
+                 "view, which requires every metric type to define "
+                 "merge(other).  A recorder that can only accumulate "
+                 "in-process either blocks the barrier or gets silently "
+                 "dropped from the merged report.  Add a merge(other) "
+                 "that combines two recorders' state exactly.")
+
+    def check(self, index: ProjectIndex, graph) -> List[Finding]:
+        instantiated: Set[str] = set()
+        for path in sorted(index.modules):
+            mod = index.modules[path]
+            for node in ast.walk(mod.tree):
+                if isinstance(node, ast.Call):
+                    chain = _attr_chain(node.func)
+                    if chain is not None:
+                        instantiated.add(chain.split(".")[-1])
+        findings: List[Finding] = []
+        for cls in index.all_classes():
+            if cls.is_actor or "analysis" in cls.path.split("/"):
+                continue
+            hot = [m for m in _METRIC_METHODS if m in cls.methods]
+            if not hot or cls.name not in instantiated:
+                continue
+            method, certain = index.resolve_method(cls, "merge")
+            if method is not None or not certain:
+                continue
+            findings.append(self.finding(
+                cls.path, cls.lineno,
+                f"{cls.name} defines {hot[0]}() but no merge(): the "
+                f"window barrier combines per-silo recorder state with "
+                f"merge(other), so this metric cannot cross the barrier "
+                f"and its samples would be silently dropped from the "
+                f"merged report; add merge(other)"))
+        findings.sort(key=lambda f: (f.path, f.line, f.message))
+        return findings
+
+
+@_register
+class UnportableSiloStateRule(PARRule):
+    name = PAR_UNPORTABLE_SILO_STATE
+    description = ("actor field assigned a value the picklability "
+                   "lattice proves cannot move between silo processes")
+    rationale = ("Sharding moves activations between silo processes "
+                 "through pickle (migration, rebalancing, restart on "
+                 "another worker).  An actor field holding a proven "
+                 "unpicklable value — an open file, a lambda, a live "
+                 "engine handle — pins the activation to its process "
+                 "forever and fails the first migration.  Prefix the "
+                 "field with '_' to mark it ephemeral (rebuilt on "
+                 "activation) or store picklable data instead.")
+
+    def check(self, index: ProjectIndex, graph) -> List[Finding]:
+        findings: List[Finding] = []
+        for cls in index.actor_classes():
+            mod = index.modules.get(cls.path)
+            if mod is None:
+                continue
+            reported: Set[str] = set()
+            for mname in sorted(cls.methods):
+                method = cls.methods[mname]
+                if method.node is None:
+                    continue
+                env = MethodPickleEnv(method.node, mod, cls).env
+                writes = sorted(method.field_writes,
+                                key=lambda w: (w.line, w.field_name))
+                for write in writes:
+                    if write.field_name.startswith("_") \
+                            or write.field_name in reported:
+                        continue
+                    verdict = classify(write.value, mod, cls, env)
+                    if not verdict.unpicklable:
+                        continue
+                    reported.add(write.field_name)
+                    findings.append(self.finding(
+                        cls.path, write.line,
+                        f"{cls.name}.{mname} stores {verdict.reason} in "
+                        f"self.{write.field_name}: silo state must "
+                        f"pickle to migrate between worker processes, "
+                        f"so this activation would be pinned to its "
+                        f"silo and fail the first rebalance; prefix the "
+                        f"field with '_' (ephemeral, rebuilt on "
+                        f"activation) or store picklable data"))
+        findings.sort(key=lambda f: (f.path, f.line, f.message))
+        return findings
+
+
+def run_par_rules(index: ProjectIndex, graph) -> List[Finding]:
+    """Run every PAR rule; deterministic (path, line, rule) order."""
+    findings: List[Finding] = []
+    for rule_cls in all_par_rules():
+        findings.extend(rule_cls().check(index, graph))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return findings

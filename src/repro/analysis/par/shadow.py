@@ -1,0 +1,91 @@
+"""The window-barrier shadow: dynamic validation of lookahead windows.
+
+The sharded engine (ROADMAP item 1) will step every silo through
+conservative windows of width ``W`` and seal each window at the
+barrier; a cross-silo message sent inside window ``k`` must arrive in
+window ``k+1`` or later, or the receiving silo may already have stepped
+past its arrival time.  The serial engine can *shadow* that discipline
+today: partition the one serial event stream into the same per-silo
+windows and record every cross-silo delivery that lands inside the
+window it was sent in — exactly the arrivals the sharded engine's
+sealed windows could not accept.
+
+:class:`WindowShadow` hangs off :attr:`repro.sim.network.Network.shadow`
+(mirroring the fault hook) and is pure recording: it never draws from
+an RNG and never schedules an event, so the simulation digest is
+unchanged even while armed.  Events land on the sanitizer as
+:class:`~repro.analysis.sanitizer.WindowEvent`; ``repro lint
+--par-check`` (:mod:`.crosscheck`) then enforces static ⊇ dynamic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..sanitizer import Sanitizer, WindowEvent
+
+__all__ = ["WindowShadow"]
+
+
+class WindowShadow:
+    """Per-silo conservative window accounting over the serial stream.
+
+    Args:
+        window: window width ``W`` in simulated seconds (> 0); use the
+            same conservative floor :func:`..par.lookahead.min_model_latency`
+            reports for the live network's parameters, so the static
+            report and the dynamic check agree on what "safe" means.
+        sanitizer: the armed sanitizer receiving
+            :class:`WindowEvent`\\ s.
+    """
+
+    def __init__(self, window: float, sanitizer: Sanitizer):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window!r}")
+        self.window = window
+        self.sanitizer = sanitizer
+        self.deliveries = 0          # every delivery seen, local included
+        self.cross_silo = 0          # deliveries with src != dst silos
+        self.min_latency_seen: Optional[float] = None
+
+    def observe(self, src: Optional[int], dst: Optional[int],
+                t_send: float, latency: float) -> None:
+        """One network delivery (called by ``Network.deliver``).
+
+        Pure recording: window arithmetic plus an append on violation.
+        Client-side endpoints (``None``) and same-silo deliveries are
+        outside the window discipline — local work never crosses a
+        barrier.
+        """
+        self.deliveries += 1
+        if src is None or dst is None or src == dst:
+            return
+        self.cross_silo += 1
+        if self.min_latency_seen is None or latency < self.min_latency_seen:
+            self.min_latency_seen = latency
+        k_send = math.floor(t_send / self.window)
+        k_arrive = math.floor((t_send + latency) / self.window)
+        if k_arrive <= k_send:
+            self.sanitizer.record_window_event(WindowEvent(
+                src=src, dst=dst, t_send=t_send, latency=latency,
+                window=self.window, window_index=k_send))
+
+    # -- attachment ----------------------------------------------------
+
+    def attach(self, network) -> "WindowShadow":
+        network.shadow = self
+        return self
+
+    @staticmethod
+    def detach(network) -> None:
+        network.shadow = None
+
+    def to_dict(self) -> dict:
+        return {
+            "window": self.window,
+            "deliveries": self.deliveries,
+            "cross_silo": self.cross_silo,
+            "min_latency_seen": self.min_latency_seen,
+            "window_events": len(self.sanitizer.window_events),
+        }

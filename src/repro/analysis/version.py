@@ -19,4 +19,7 @@ __all__ = ["ANALYSIS_VERSION"]
 #: History: "1" — per-file + FLOW rule families (PR 5).
 #:          "2" — XB cross-backend portability family; signature gains
 #:                this stamp plus the FLOW/XB rule-name lists.
-ANALYSIS_VERSION = "2"
+#:          "3" — PAR parallel-sharding readiness family + lookahead
+#:                inference; signature gains the PAR rule-name list and
+#:                the cache gains project-level (whole-tree) entries.
+ANALYSIS_VERSION = "3"

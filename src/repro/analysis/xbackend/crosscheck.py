@@ -17,10 +17,10 @@ inproc transport and the probe armed, then demands dynamic ⊆ static.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Sequence, Tuple
 
-from ..findings import Finding
-from ..flow.index import ProjectIndex
+from ..coverage import Coverage, read_sources, static_coverage
+from ..coverage import crosscheck_events as _crosscheck_events
 
 __all__ = ["static_coverage", "crosscheck_events", "crosscheck_parity",
            "format_xb_crosscheck"]
@@ -31,29 +31,6 @@ _KIND_TO_RULE = {
     "unpicklable": "XB-UNPICKLABLE-PAYLOAD",
 }
 
-Coverage = Set[Tuple[str, str, str]]        # (class, method, rule)
-
-
-def static_coverage(index: ProjectIndex,
-                    findings: Iterable[Finding]) -> Coverage:
-    """Map findings back to ``(class, method, rule)`` triples by line
-    containment in the indexed method bodies."""
-    spans: Dict[str, List[Tuple[int, int, str, str]]] = {}
-    for cls in index.all_classes():
-        for mname in sorted(cls.methods):
-            node = cls.methods[mname].node
-            if node is None:
-                continue
-            end = getattr(node, "end_lineno", None) or node.lineno
-            spans.setdefault(cls.path, []).append(
-                (node.lineno, end, cls.name, mname))
-    out: Coverage = set()
-    for finding in findings:
-        for start, end, cls_name, mname in spans.get(finding.path, []):
-            if start <= finding.line <= end:
-                out.add((cls_name, mname, finding.rule))
-    return out
-
 
 def crosscheck_events(coverage: Coverage, events: Sequence) -> dict:
     """Demand every dynamic payload event is covered statically.
@@ -62,21 +39,7 @@ def crosscheck_events(coverage: Coverage, events: Sequence) -> dict:
     an event is covered when a static finding with the matching rule
     lands inside the same sender class + method.
     """
-    uncovered: List[dict] = []
-    for event in events:
-        rule = _KIND_TO_RULE.get(event.kind)
-        if rule is None:
-            continue
-        if (event.sender, event.method, rule) not in coverage:
-            entry = event.to_dict()
-            entry["expected_rule"] = rule
-            uncovered.append(entry)
-    return {
-        "schema": 1,
-        "ok": not uncovered,
-        "dynamic_events": [e.to_dict() for e in events],
-        "uncovered": uncovered,
-    }
+    return _crosscheck_events(coverage, events, _KIND_TO_RULE)
 
 
 def _run_parity_programs(transport: str) -> Tuple[list, int]:
@@ -140,14 +103,9 @@ def crosscheck_parity(paths: Sequence[str] = ("src/repro",),
     """The CI cross-check: run the parity suite with the deep-copy
     inproc transport and the probe armed, statically analyze ``paths``,
     and verify static ⊇ dynamic."""
-    from ..linter import _collect_files
     from . import analyze_xbackend
 
-    files = _collect_files(paths, base)
-    sources = []
-    for file_path, rel in files:
-        with open(file_path, "r", encoding="utf-8") as fh:
-            sources.append((rel, fh.read()))
+    sources = read_sources(paths, base)
     index, findings = analyze_xbackend(sources)
     coverage = static_coverage(index, findings)
 

@@ -343,5 +343,40 @@ class TimeSeries:
         tail = self.values[start:]
         return sum(tail) / len(tail)
 
+    def merge(self, other: "TimeSeries") -> None:
+        """Exact merge: interleave ``other``'s samples by timestamp.
+
+        Both series stay individually ordered, so a stable two-pointer
+        merge preserves the in-order invariant; on timestamp ties
+        ``self``'s sample precedes ``other``'s (merging per-silo series
+        in silo order is therefore deterministic).  ``other`` is left
+        untouched.
+        """
+        if not other.times:
+            return
+        if not self.times or self.times[-1] <= other.times[0]:
+            # Common fast path: windows don't overlap, just append.
+            self.times.extend(other.times)
+            self.values.extend(other.values)
+            return
+        times: list[float] = []
+        values: list[float] = []
+        i = j = 0
+        while i < len(self.times) and j < len(other.times):
+            if self.times[i] <= other.times[j]:
+                times.append(self.times[i])
+                values.append(self.values[i])
+                i += 1
+            else:
+                times.append(other.times[j])
+                values.append(other.values[j])
+                j += 1
+        times.extend(self.times[i:])
+        values.extend(self.values[i:])
+        times.extend(other.times[j:])
+        values.extend(other.values[j:])
+        self.times = times
+        self.values = values
+
     def items(self) -> Iterable[tuple[float, float]]:
         return zip(self.times, self.values)

@@ -354,13 +354,30 @@ def build_parser() -> argparse.ArgumentParser:
                            "covered by a static XB finding (static ⊇ "
                            "dynamic); write the report JSON here; implies "
                            "--xbackend")
+    lint.add_argument("--par", action="store_true",
+                      help="also run the parallel-sharding readiness pass "
+                           "(PAR rules: zero lookahead, global mutable "
+                           "state, cross-silo conflicts, non-mergeable "
+                           "metrics, unportable silo state)")
+    lint.add_argument("--par-graph", metavar="PATH", default=None,
+                      help="write the lookahead report (network models, "
+                           "per-edge lookahead, inferred window bound) "
+                           "here; implies --par")
+    lint.add_argument("--par-check", metavar="PATH", default=None,
+                      help="drive seeded Halo and Stageflow slices with "
+                           "the window-barrier shadow armed and verify "
+                           "every same-window cross-silo delivery is "
+                           "covered by a static PAR finding (static ⊇ "
+                           "dynamic); write the report JSON here; implies "
+                           "--par")
     lint.add_argument("--waivers", action="store_true",
                       help="report every active '# repro: waive[...]' "
                            "(file, rules, justification) and exit")
     lint.add_argument("--cache", action="store_true",
                       help="cache per-file results under .repro-lint-cache/ "
-                           "keyed by mtime+hash (flow findings are never "
-                           "cached)")
+                           "keyed by mtime+hash; project-wide passes "
+                           "(--flow/--xbackend/--par) are cached whole-tree "
+                           "keyed by a tree signature")
     lint.add_argument("--requests", type=int, default=2_000,
                       help="sanitizer/graph-check: client requests to drive "
                            "through the Halo slice")
@@ -986,21 +1003,40 @@ def _run_lint(args: argparse.Namespace) -> int:
 
     from .analysis import DEFAULT_ROOTS, all_rules, lint_paths
     from .analysis.flow import all_flow_rules
+    from .analysis.par import all_par_rules
     from .analysis.xbackend import all_xb_rules
 
     if args.list_rules:
-        rows = [[r.name, str(r.severity), r.description]
-                for r in all_rules()]
-        rows += [[r.name, str(r.severity), f"[flow] {r.description}"]
-                 for r in all_flow_rules()]
-        rows += [[r.name, str(r.severity), f"[xbackend] {r.description}"]
-                 for r in all_xb_rules()]
+        families = [
+            ("file", all_rules()),
+            ("flow", all_flow_rules()),
+            ("xbackend", all_xb_rules()),
+            ("par", all_par_rules()),
+        ]
+        inventory = [
+            {"family": family, "name": r.name,
+             "severity": str(r.severity), "description": r.description}
+            for family, rules in families for r in rules
+        ]
+        out = sys.stderr if args.json_path == "-" else sys.stdout
+        rows = [[r["name"], r["severity"],
+                 r["description"] if r["family"] == "file"
+                 else f"[{r['family']}] {r['description']}"]
+                for r in inventory]
+        counts = ", ".join(f"{sum(1 for r in inventory if r['family'] == f)} "
+                           f"{f}" for f, _ in families[1:])
         print(render_table(
             ["rule", "severity", "description"], rows,
-            title=f"{len(rows)} registered lint rules "
-                  f"({len(tuple(all_flow_rules()))} flow, "
-                  f"{len(tuple(all_xb_rules()))} xbackend)",
-        ))
+            title=f"{len(rows)} registered lint rules ({counts})",
+        ), file=out)
+        doc = {"schema": 1, "rules": inventory}
+        if args.json_path == "-":
+            print(json.dumps(doc, indent=2))
+        elif args.json_path:
+            with open(args.json_path, "w") as fh:
+                json.dump(doc, fh, indent=2)
+                fh.write("\n")
+            print(f"rule inventory written to {args.json_path}", file=out)
         return 0
 
     if args.waivers:
@@ -1009,15 +1045,20 @@ def _run_lint(args: argparse.Namespace) -> int:
     flow = args.flow or args.flow_graph is not None \
         or args.graph_check is not None
     xbackend = args.xbackend or args.xb_check is not None
+    par = args.par or args.par_graph is not None \
+        or args.par_check is not None
     cache_dir = ".repro-lint-cache" if args.cache else None
     report = lint_paths(args.paths or DEFAULT_ROOTS, rules=args.rules,
-                        flow=flow, xbackend=xbackend, cache_dir=cache_dir)
+                        flow=flow, xbackend=xbackend, par=par,
+                        cache_dir=cache_dir)
     doc: dict = {"schema": 1, "lint": report.to_dict()}
     ok = report.ok
 
     graph = report.flow_graph
     if graph is not None:
         doc["flow_graph"] = graph.to_dict()
+    if report.par_report is not None:
+        doc["par_lookahead"] = report.par_report
 
     san_report = None
     if args.sanitize:
@@ -1041,6 +1082,16 @@ def _run_lint(args: argparse.Namespace) -> int:
         xb_report = crosscheck_parity(args.paths or DEFAULT_ROOTS)
         doc["xb_check"] = xb_report
         ok = ok and xb_report["ok"]
+
+    par_check_report = None
+    if args.par_check is not None:
+        from .analysis.par import crosscheck_windows
+
+        par_check_report = crosscheck_windows(
+            args.paths or DEFAULT_ROOTS, requests=args.requests,
+            seed=args.seed)
+        doc["par_check"] = par_check_report
+        ok = ok and par_check_report["ok"]
     doc["ok"] = ok
 
     out = sys.stderr if args.json_path == "-" else sys.stdout
@@ -1050,6 +1101,9 @@ def _run_lint(args: argparse.Namespace) -> int:
               f.justification or ""] for f in report.waived]
     cache_note = (f", cache {report.cache_hits} hit/"
                   f"{report.cache_misses} miss" if args.cache else "")
+    if args.cache and (flow or xbackend or par):
+        cache_note += (f", project {report.project_cache_hits} hit/"
+                       f"{report.project_cache_misses} miss")
     print(render_table(
         ["rule", "location", "detail"],
         rows or [["-", "-", "no findings"]],
@@ -1086,6 +1140,25 @@ def _run_lint(args: argparse.Namespace) -> int:
             json.dump(xb_report, fh, indent=2)
             fh.write("\n")
         print(f"xbackend crosscheck written to {args.xb_check}", file=out)
+    if report.par_report is not None:
+        la = report.par_report
+        print(f"\npar: {la['resolved_models']} network model(s) resolved "
+              f"({la['unresolved_models']} unresolved), "
+              f"{len(la['edges'])} type edge(s), "
+              f"window bound {la['window']:.6g}s", file=out)
+        if args.par_graph is not None:
+            with open(args.par_graph, "w") as fh:
+                json.dump(la, fh, indent=2)
+                fh.write("\n")
+            print(f"lookahead report written to {args.par_graph}", file=out)
+    if par_check_report is not None:
+        from .analysis.par import format_par_crosscheck
+
+        print(format_par_crosscheck(par_check_report), file=out)
+        with open(args.par_check, "w") as fh:
+            json.dump(par_check_report, fh, indent=2)
+            fh.write("\n")
+        print(f"par window crosscheck written to {args.par_check}", file=out)
     if san_report is not None:
         print(f"\nsanitizer: {san_report['requests_completed']} requests, "
               f"{san_report['events_seen']} events, "

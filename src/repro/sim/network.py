@@ -46,6 +46,12 @@ class Network:
         # installed only when a fault plan has network actions, so the
         # plain path below stays byte-identical for fault-free runs.
         self.faults = None
+        # Optional window-shadow hook (a repro.analysis.par.WindowShadow);
+        # observes (src, dst, send time, latency) per delivery while the
+        # PAR sanitizer mode is armed.  Pure recording — it never draws
+        # from an RNG or schedules an event, so the digest is unchanged
+        # even when attached; when None the cost is one attribute load.
+        self.shadow = None
 
     def latency(self) -> float:
         """Draw a one-way delivery latency."""
@@ -72,7 +78,10 @@ class Network:
         self.messages_sent += 1
         self.bytes_sent += size_bytes
         if self.faults is not None:
-            return self.faults.transmit(size_bytes, callback, args, src, dst)
-        latency = self.latency()
-        self.sim.defer(latency, callback, *args)
+            latency = self.faults.transmit(size_bytes, callback, args, src, dst)
+        else:
+            latency = self.latency()
+            self.sim.defer(latency, callback, *args)
+        if self.shadow is not None:
+            self.shadow.observe(src, dst, self.sim.now, latency)
         return latency

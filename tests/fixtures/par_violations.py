@@ -1,0 +1,174 @@
+"""Deliberate PAR violations — exactly one per sharding-readiness rule.
+
+Never imported by anything: ``tests/unit/test_par_rules.py`` runs the
+PAR pass over this file and asserts that exactly the five PAR rules
+fire (one finding each).  Every positive sits next to a negative that
+differs in exactly the property the rule checks, so the tests pin both
+directions.  The ``fixtures`` directory is excluded from the default
+lint roots, so the repo-wide pass stays clean.
+
+Like the other fixtures, the ``Actor``/``ActorRef``/``Call``/``Tell``/
+``ClusterConfig`` stand-ins keep the file self-contained: the analysis
+resolves names within its project index, so in-file stand-ins behave
+like the real substrate.
+"""
+
+
+class Actor:
+    """Stand-in base so the index sees actor classes."""
+
+
+class ActorRef:
+    """Stand-in reference type (the evaluator matches the name)."""
+
+    def __init__(self, actor_type, key):
+        self.actor_type = actor_type
+        self.key = key
+
+
+class Call:
+    def __init__(self, target, method, *args, **kwargs):
+        self.target, self.method, self.args = target, method, args
+
+
+class Tell:
+    def __init__(self, target, method, *args, **kwargs):
+        self.target, self.method, self.args = target, method, args
+
+
+class ClusterConfig:
+    """Stand-in config (the model discovery matches the call name)."""
+
+    def __init__(self, num_servers=1, network_latency=0.0005,
+                 network_jitter=0.1, time_scale=1.0):
+        self.num_servers = num_servers
+        self.network_latency = network_latency
+        self.network_jitter = network_jitter
+        self.time_scale = time_scale
+
+
+# PAR-GLOBAL-MUTABLE: mutated by an actor method below, so every silo
+# process forks its own diverging copy.
+PENDING_ROSTER = []
+
+# Negative: mutable initializer, read by an actor, but never mutated —
+# a forked read-only table is the same table in every silo.
+ROUTING_HINTS = [3, 5, 7]
+
+
+def boot_zero_window():
+    # PAR-ZERO-LOOKAHEAD: base latency 0 admits same-instant cross-silo
+    # arrivals, so no conservative window width is sound.
+    return ClusterConfig(num_servers=2, network_latency=0.0)
+
+
+def boot_sound_window():
+    # Negative: positive base latency resolves to a positive lookahead.
+    return ClusterConfig(num_servers=2, network_latency=0.002,
+                         network_jitter=0.05)
+
+
+class LobbyActor(Actor):
+    """Touches the module globals above (one mutated, one read-only)."""
+
+    def enqueue(self, who):
+        PENDING_ROSTER.append(who)
+
+    def pick_shard(self):
+        return ROUTING_HINTS[0]
+
+
+class FanoutActor(Actor):
+    """Ships its own mutable list to a *different* actor type."""
+
+    def __init__(self):
+        self.members = []
+
+    def join(self, who):
+        self.members.append(who)
+
+    def broadcast(self):
+        # PAR-CROSS-SILO-CONFLICT: the partitioner may host "fanout"
+        # and "mirror" on different silos; the alias becomes two copies.
+        ack = yield Call(ActorRef("mirror", 0), "sync", self.members)
+        return ack
+
+
+class SpillActor(Actor):
+    """Negative: the same alias shipped to its OWN type stays silent —
+    one type is never split across silos by the partitioner."""
+
+    def __init__(self):
+        self.overflow = []
+
+    def absorb(self, item):
+        self.overflow.append(item)
+
+    def rebalance(self):
+        yield Tell(ActorRef("spill", 1), "absorb", self.overflow)
+
+
+class WindowHistogram:
+    """PAR-NONMERGEABLE-METRIC: observe() but no merge(other)."""
+
+    def __init__(self):
+        self.samples = []
+
+    def observe(self, value):
+        self.samples.append(value)
+
+
+class MergeableCounter:
+    """Negative: record() with a merge(), so the barrier can fold it."""
+
+    def __init__(self):
+        self.total = 0.0
+
+    def record(self, value):
+        self.total += value
+
+    def merge(self, other):
+        self.total += other.total
+
+
+def collect_latencies(values):
+    hist = WindowHistogram()
+    counter = MergeableCounter()
+    for value in values:
+        hist.observe(value)
+        counter.record(value)
+    return hist, counter
+
+
+class ReplayActor(Actor):
+    """Stores a closure in migratable state."""
+
+    def __init__(self):
+        self.history = []
+        # Negative: '_'-prefixed fields are ephemeral by convention
+        # (rebuilt on activation), so the lattice verdict is waived.
+        self._decoder = lambda turn: turn
+
+    def arm(self):
+        # PAR-UNPORTABLE-SILO-STATE: a lambda cannot pickle, so this
+        # activation could never migrate between silo processes.
+        self.transform = lambda turn: turn + 1
+
+
+class MirrorActor(Actor):
+    """The clean receiver: messages land here; nothing escapes."""
+
+    def __init__(self):
+        self.synced = 0
+
+    def sync(self, payload):
+        self.synced += 1
+        return self.synced
+
+
+def wire(runtime):
+    runtime.register_actor("lobby", LobbyActor)
+    runtime.register_actor("fanout", FanoutActor)
+    runtime.register_actor("spill", SpillActor)
+    runtime.register_actor("replay", ReplayActor)
+    runtime.register_actor("mirror", MirrorActor)

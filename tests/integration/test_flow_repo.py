@@ -82,6 +82,30 @@ def test_waiver_audit_is_fully_justified():
         assert entry["justification"], entry
 
 
+def test_waiver_audit_reports_xb_and_par_waivers(tmp_path):
+    # The audit must surface waivers of every family, not just the
+    # per-file rules — a sharding or portability waiver is exactly the
+    # kind reviewers need to see.
+    (tmp_path / "mod.py").write_text(
+        "class StreamActor:\n"
+        "    def publish(self):\n"
+        "        # repro: waive[XB-UNPICKLABLE-PAYLOAD] -- audit fixture\n"
+        "        yield (x for x in range(3))\n"
+        "\n"
+        "\n"
+        "def boot():\n"
+        "    # repro: waive[PAR-ZERO-LOOKAHEAD] -- audit fixture\n"
+        "    return ClusterConfig(network_latency=0.0)\n"
+    )
+    doc = waiver_audit([str(tmp_path)], base=str(tmp_path))
+    assert doc["count"] == 2
+    assert doc["unjustified"] == 0
+    rules = {rule for entry in doc["waivers"] for rule in entry["rules"]}
+    assert rules == {"XB-UNPICKLABLE-PAYLOAD", "PAR-ZERO-LOOKAHEAD"}
+    for entry in doc["waivers"]:
+        assert entry["justification"] == "audit fixture"
+
+
 # ------------------------------------------------------------- the CLI
 
 
@@ -138,3 +162,25 @@ def test_cli_list_rules_includes_the_flow_family():
     for name in FLOW_RULES:
         assert name in proc.stdout
     assert "[flow]" in proc.stdout
+    assert "[par]" in proc.stdout
+
+
+def test_cli_list_rules_json_inventory_follows_the_convention():
+    # Same convention as every other --json '-' mode: pure JSON on
+    # stdout, the human table on stderr.
+    proc = _run_cli("--list-rules", "--json", "-")
+    assert proc.returncode == 0, proc.stderr
+    doc = json.loads(proc.stdout)
+    assert doc["schema"] == 1
+    rows = doc["rules"]
+    families = {r["family"] for r in rows}
+    assert families == {"file", "flow", "xbackend", "par"}
+    for row in rows:
+        assert row["name"] and row["description"]
+        assert row["severity"] in ("error", "warning")
+    par = [r["name"] for r in rows if r["family"] == "par"]
+    assert sorted(par) == [
+        "PAR-CROSS-SILO-CONFLICT", "PAR-GLOBAL-MUTABLE",
+        "PAR-NONMERGEABLE-METRIC", "PAR-UNPORTABLE-SILO-STATE",
+        "PAR-ZERO-LOOKAHEAD"]
+    assert "registered lint rules" in proc.stderr

@@ -1,0 +1,104 @@
+"""Property tests: lookahead inference is monotone.
+
+The PAR lookahead report promises a *conservative* window bound, so the
+inference must be monotone in the evidence: removing an interaction
+edge, or raising any network model's latency floor, can never make a
+reported lookahead smaller (min-composition over a fixed scope).  A
+refactor that broke this could silently loosen the window bound the
+sharded engine relies on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.par.lookahead import (
+    NetworkModel,
+    compute_edge_lookaheads,
+    min_model_latency,
+)
+
+_PATHS = ["a.py", "b.py", "c.py", "d.py"]
+_TYPES = ["game", "player", "room", "user", "router"]
+
+
+def _model(path, line, base, jitter, resolved):
+    floor = min_model_latency(base, jitter) if resolved else None
+    return NetworkModel(path=path, line=line, kind="ClusterConfig",
+                        base=base if resolved else None,
+                        jitter=jitter if resolved else None,
+                        min_latency=floor)
+
+
+@st.composite
+def scenarios(draw):
+    models = [
+        _model(draw(st.sampled_from(_PATHS)), line,
+               draw(st.floats(1e-6, 1.0, allow_nan=False)),
+               draw(st.floats(0.0, 0.5, allow_nan=False)),
+               draw(st.booleans()))
+        for line in range(draw(st.integers(0, 6)))
+    ]
+    pair_pool = sorted({tuple(sorted(p)) for p in zip(
+        draw(st.lists(st.sampled_from(_TYPES), min_size=0, max_size=6)),
+        draw(st.lists(st.sampled_from(_TYPES), min_size=6, max_size=6)))
+        if p[0] != p[1]})
+    pair_paths = {
+        pair: draw(st.sets(st.sampled_from(_PATHS), max_size=3))
+        for pair in pair_pool
+    }
+    return models, pair_pool, pair_paths
+
+
+@given(scenarios(), st.integers(0, 5),
+       st.floats(0.0, 2.0, allow_nan=False), st.data())
+@settings(max_examples=120, deadline=None)
+def test_raising_a_floor_never_decreases_any_lookahead(
+        scenario, which, delta, data):
+    models, pairs, pair_paths = scenario
+    before = compute_edge_lookaheads(pairs, pair_paths, models)
+    if not models:
+        return
+    idx = which % len(models)
+    victim = models[idx]
+    raised = NetworkModel(
+        path=victim.path, line=victim.line, kind=victim.kind,
+        base=victim.base, jitter=victim.jitter,
+        min_latency=(None if victim.min_latency is None
+                     else victim.min_latency + delta))
+    after = compute_edge_lookaheads(
+        pairs, pair_paths, models[:idx] + [raised] + models[idx + 1:])
+    for pair in pairs:
+        assert after[pair][0] >= before[pair][0]
+
+
+@given(scenarios(), st.data())
+@settings(max_examples=120, deadline=None)
+def test_removing_edges_never_decreases_surviving_lookaheads(
+        scenario, data):
+    models, pairs, pair_paths = scenario
+    before = compute_edge_lookaheads(pairs, pair_paths, models)
+    survivors = data.draw(st.lists(st.sampled_from(pairs), unique=True)
+                          if pairs else st.just([]))
+    after = compute_edge_lookaheads(survivors, pair_paths, models)
+    for pair in survivors:
+        assert after[pair][0] >= before[pair][0]
+    # ... and the window bound (min over reported edges) is monotone too
+    if survivors and before:
+        assert min(la for la, _ in after.values()) >= \
+            min(la for la, _ in before.values())
+
+
+@given(st.floats(0.0, 1.0, allow_nan=False),
+       st.floats(0.0, 1.0, allow_nan=False),
+       st.floats(0.0, 0.5, allow_nan=False),
+       st.floats(0.0, 0.5, allow_nan=False))
+@settings(max_examples=200, deadline=None)
+def test_floor_monotone_in_base_antitone_in_jitter(b1, b2, j1, j2):
+    lo_b, hi_b = sorted((b1, b2))
+    lo_j, hi_j = sorted((j1, j2))
+    # never above the base, never negative
+    assert 0.0 <= min_model_latency(hi_b, hi_j) <= hi_b
+    # more base latency -> at least as large a floor
+    assert min_model_latency(hi_b, lo_j) >= min_model_latency(lo_b, lo_j)
+    # more jitter -> a wider conservative tail -> at most as large
+    assert min_model_latency(lo_b, hi_j) <= min_model_latency(lo_b, lo_j)

@@ -96,6 +96,27 @@ def test_comm_table_iterates_in_insertion_order():
     ]
 
 
+def test_comm_table_merge_is_exact_and_order_deterministic():
+    from repro.actor.commtable import CommTable
+
+    ids = [ActorId("m", i) for i in range(4)]
+    a, b = CommTable(), CommTable()
+    a.record(ids[0], ids[1], 2.0)
+    a.record(ids[2], ids[3], 1.0)
+    b.record(ids[2], ids[3], 0.5)      # overlaps an edge of a
+    b.record(ids[1], ids[0], 4.0)      # new edge, appended after a's
+    a.merge(b)
+    assert a.weight(ids[0], ids[1]) == 2.0
+    assert a.weight(ids[2], ids[3]) == 1.5
+    assert a.weight(ids[1], ids[0]) == 4.0
+    assert [pair for pair, _ in a.items()] == [
+        (ids[0], ids[1]), (ids[2], ids[3]), (ids[1], ids[0]),
+    ]
+    # other is left untouched — the barrier re-merges silos every window
+    assert len(b) == 2
+    assert b.weight(ids[1], ids[0]) == 4.0
+
+
 def test_quiescence_conditions():
     act = make_activation()
     assert act.quiescent

@@ -207,3 +207,83 @@ def test_flow_pass_does_not_duplicate_parse_errors(tmp_path):
     report = lint_paths([str(tmp_path)], base=str(tmp_path), flow=True)
     parse = [f for f in report.active if f.rule == "PARSE-ERROR"]
     assert len(parse) == 1
+
+
+# ------------------------------------------------- project-level cache
+
+
+def _lint_project(tmp_path, **flags):
+    return lint_paths([str(tmp_path)], base=str(tmp_path),
+                      cache_dir=str(tmp_path / ".cache"),
+                      flow=True, xbackend=True, par=True, **flags)
+
+
+def test_project_passes_hit_the_whole_tree_cache_when_clean(tmp_path):
+    _write(tmp_path, "a.py", CLEAN)
+    _write(tmp_path, "b.py", CLEAN)
+    cold = _lint_project(tmp_path)
+    assert cold.project_cache_misses == 3 and cold.project_cache_hits == 0
+
+    warm = _lint_project(tmp_path)
+    # A clean re-run recomputes none of the three project-wide passes.
+    assert warm.project_cache_hits == 3 and warm.project_cache_misses == 0
+    assert warm.to_dict() == cold.to_dict()
+    assert warm.par_report == cold.par_report
+    assert warm.flow_graph.to_dict() == cold.flow_graph.to_dict()
+    assert warm.flow_graph.type_edge_weights() == \
+        cold.flow_graph.type_edge_weights()
+
+
+def test_editing_any_file_invalidates_every_project_entry(tmp_path):
+    # The tree signature covers every file's content: the project-wide
+    # passes are interprocedural, so one edit anywhere must re-run all
+    # of them — a stale whole-tree entry can never survive an edit.
+    _write(tmp_path, "a.py", CLEAN)
+    other = _write(tmp_path, "b.py", CLEAN)
+    _lint_project(tmp_path)
+
+    other.write_text(CLEAN + "\nY = 2\n")
+    edited = _lint_project(tmp_path)
+    assert edited.project_cache_misses == 3
+    assert edited.project_cache_hits == 0
+
+
+def test_project_warm_hit_reapplies_waivers_from_source(tmp_path):
+    source = textwrap.dedent('''
+        def boot():
+            # repro: waive[PAR-ZERO-LOOKAHEAD] -- cache fixture
+            return ClusterConfig(num_servers=1, network_latency=0.0)
+    ''')
+    _write(tmp_path, "a.py", source)
+    cold = _lint_project(tmp_path)
+    warm = _lint_project(tmp_path)
+    assert warm.project_cache_hits == 3
+    assert warm.ok
+    waived = [f for f in warm.waived if f.rule == "PAR-ZERO-LOOKAHEAD"]
+    assert len(waived) == 1
+    assert waived[0].justification == "cache fixture"
+    assert [f.render() for f in warm.findings] == \
+        [f.render() for f in cold.findings]
+
+
+def test_project_families_fill_in_incrementally(tmp_path):
+    _write(tmp_path, "a.py", CLEAN)
+    first = lint_paths([str(tmp_path)], base=str(tmp_path),
+                       cache_dir=str(tmp_path / ".cache"), flow=True)
+    assert first.project_cache_misses == 1
+
+    # Adding passes reuses the flow entry and computes only the rest.
+    both = _lint_project(tmp_path)
+    assert both.project_cache_hits == 1
+    assert both.project_cache_misses == 2
+    again = _lint_project(tmp_path)
+    assert again.project_cache_hits == 3
+
+
+def test_corrupt_project_entry_misses_safely(tmp_path):
+    _write(tmp_path, "a.py", CLEAN)
+    cold = _lint_project(tmp_path)
+    (tmp_path / ".cache" / "project.json").write_text("{not json")
+    warm = _lint_project(tmp_path)
+    assert warm.project_cache_misses == 3
+    assert warm.to_dict() == cold.to_dict()

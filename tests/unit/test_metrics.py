@@ -91,6 +91,34 @@ def test_timeseries_tail_mean():
     assert list(ts.items())[0] == (0.0, 0.0)
 
 
+def test_timeseries_merge_interleaves_by_timestamp():
+    a, b = TimeSeries(), TimeSeries()
+    for t, v in [(0.0, 1.0), (2.0, 2.0), (4.0, 3.0)]:
+        a.record(t, v)
+    for t, v in [(1.0, 10.0), (2.0, 20.0), (5.0, 30.0)]:
+        b.record(t, v)
+    a.merge(b)
+    # a's sample precedes b's on the t=2.0 tie (stable, silo order)
+    assert list(a.items()) == [
+        (0.0, 1.0), (1.0, 10.0), (2.0, 2.0), (2.0, 20.0),
+        (4.0, 3.0), (5.0, 30.0),
+    ]
+    assert list(b.items()) == [(1.0, 10.0), (2.0, 20.0), (5.0, 30.0)]
+
+
+def test_timeseries_merge_appends_on_disjoint_ranges():
+    a, b = TimeSeries(), TimeSeries()
+    a.record(0.0, 1.0)
+    a.record(1.0, 2.0)
+    b.record(1.0, 9.0)                 # equal boundary takes the fast path
+    b.record(3.0, 8.0)
+    a.merge(b)
+    assert list(a.items()) == [
+        (0.0, 1.0), (1.0, 2.0), (1.0, 9.0), (3.0, 8.0)]
+    a.merge(TimeSeries())              # merging empty is a no-op
+    assert len(a) == 4
+
+
 def test_serialization_costs_grow_with_size():
     model = SerializationModel()
     assert model.serialize_cost(1000) > model.serialize_cost(10)

@@ -1,0 +1,387 @@
+"""Unit tests for the parallel-sharding readiness pass: lookahead
+inference and each PAR rule's fire/stay-silent contract on minimal
+synthetic modules."""
+
+import math
+import os
+import textwrap
+
+from repro.analysis.flow import build_graph, build_index
+from repro.analysis.linter import lint_paths
+from repro.analysis.par import analyze_par, lookahead_report
+from repro.analysis.par.lookahead import (
+    DEFAULT_MIN_LATENCY,
+    LOOKAHEAD_SIGMAS,
+    compute_edge_lookaheads,
+    discover_models,
+    min_model_latency,
+)
+from repro.analysis.par.rules import (
+    PAR_CROSS_SILO_CONFLICT,
+    PAR_GLOBAL_MUTABLE,
+    PAR_NONMERGEABLE_METRIC,
+    PAR_UNPORTABLE_SILO_STATE,
+    PAR_ZERO_LOOKAHEAD,
+    all_par_rules,
+    run_par_rules,
+)
+
+REPO = os.path.join(os.path.dirname(__file__), "..", "..")
+FIXTURE = os.path.join("tests", "fixtures", "par_violations.py")
+
+#: Stand-ins every snippet shares: the index keys off the names, so
+#: in-file definitions behave like the real substrate.
+PRELUDE = '''
+class Actor:
+    pass
+
+
+class ActorRef:
+    def __init__(self, actor_type, key):
+        self.actor_type = actor_type
+        self.key = key
+
+
+class Call:
+    def __init__(self, target, method, *args, **kwargs):
+        self.args = args
+
+
+class Tell:
+    def __init__(self, target, method, *args, **kwargs):
+        self.args = args
+'''
+
+
+def _analyze(source, path="mod.py"):
+    index = build_index([(path, PRELUDE + textwrap.dedent(source))])
+    return index, build_graph(index)
+
+
+def _findings(source, path="mod.py"):
+    index, graph = _analyze(source, path)
+    return run_par_rules(index, graph)
+
+
+def _rules_fired(findings):
+    return {f.rule for f in findings}
+
+
+# ----------------------------------------------------------- lookahead
+
+
+def test_min_model_latency_floor():
+    assert min_model_latency(0.0, 0.1) == 0.0
+    assert min_model_latency(-1.0, 0.1) == 0.0
+    assert min_model_latency(0.002, 0.0) == 0.002
+    jittered = min_model_latency(0.002, 0.25)
+    assert jittered == 0.002 * math.exp(-LOOKAHEAD_SIGMAS * 0.25)
+    assert 0.0 < jittered < 0.002
+
+
+def test_discover_models_resolves_literals_and_named_constants():
+    index, _ = _analyze('''
+        BASE = 0.002
+
+        def boot():
+            return ClusterConfig(num_servers=2, network_latency=BASE,
+                                 network_jitter=0.05)
+
+        def boot_opaque(cfg):
+            return ClusterConfig(network_latency=cfg.latency)
+    ''')
+    models = discover_models(index)
+    assert len(models) == 2
+    resolved = [m for m in models if m.min_latency is not None]
+    assert len(resolved) == 1
+    assert resolved[0].base == 0.002
+    assert resolved[0].min_latency == min_model_latency(0.002, 0.05)
+
+
+def test_edge_lookahead_scope_preference():
+    models = [m for m in discover_models(_analyze('''
+        def boot_a():
+            return ClusterConfig(network_latency=0.01, network_jitter=0.0)
+    ''', path="a.py")[0])]
+    models += [m for m in discover_models(_analyze('''
+        def boot_b():
+            return ClusterConfig(network_latency=0.5, network_jitter=0.0)
+    ''', path="b.py")[0])]
+    pairs = [("u", "v"), ("x", "y")]
+    out = compute_edge_lookaheads(
+        pairs, {("u", "v"): {"a.py"}, ("x", "y"): {"nowhere.py"}}, models)
+    # the (u, v) edge sits in a.py, so the module-scope model wins;
+    # (x, y) has no local model and falls back to the tree-wide min
+    assert out[("u", "v")] == (0.01, "module")
+    assert out[("x", "y")] == (0.01, "global")
+    # with no models at all, everything is the analysis default
+    out = compute_edge_lookaheads(pairs, {}, [])
+    assert out[("u", "v")] == (DEFAULT_MIN_LATENCY, "default")
+
+
+def test_lookahead_report_is_deterministic():
+    files = [(FIXTURE, open(os.path.join(REPO, FIXTURE)).read())]
+    index1, graph1, _ = analyze_par(files)
+    index2, graph2, _ = analyze_par(files)
+    assert lookahead_report(index1, graph1) == \
+        lookahead_report(index2, graph2)
+
+
+# ---------------------------------------------------- PAR-ZERO-LOOKAHEAD
+
+
+def test_zero_lookahead_fires_on_zero_base_latency():
+    findings = _findings('''
+        def boot():
+            return ClusterConfig(num_servers=2, network_latency=0.0)
+    ''')
+    assert _rules_fired(findings) == {PAR_ZERO_LOOKAHEAD}
+
+
+def test_zero_lookahead_fires_on_zero_time_scale():
+    findings = _findings('''
+        def boot():
+            return ClusterConfig(network_latency=0.002, time_scale=0.0)
+    ''')
+    assert _rules_fired(findings) == {PAR_ZERO_LOOKAHEAD}
+
+
+def test_zero_lookahead_silent_on_positive_and_opaque_configs():
+    findings = _findings('''
+        def boot(cfg):
+            ClusterConfig(network_latency=0.002)
+            return ClusterConfig(network_latency=cfg.latency)
+    ''')
+    assert PAR_ZERO_LOOKAHEAD not in _rules_fired(findings)
+
+
+# ---------------------------------------------------- PAR-GLOBAL-MUTABLE
+
+
+def test_global_mutable_fires_when_actor_touches_mutated_global():
+    findings = _findings('''
+        PENDING = []
+
+        class QueueActor(Actor):
+            def push(self, item):
+                PENDING.append(item)
+    ''')
+    assert _rules_fired(findings) == {PAR_GLOBAL_MUTABLE}
+
+
+def test_global_mutable_fires_when_helper_mutates_and_actor_reads():
+    findings = _findings('''
+        TABLE = {}
+
+        def tune(key, value):
+            TABLE[key] = value
+
+        class ReaderActor(Actor):
+            def lookup(self, key):
+                return TABLE[key]
+    ''')
+    assert _rules_fired(findings) == {PAR_GLOBAL_MUTABLE}
+
+
+def test_global_mutable_silent_on_read_only_and_actorless_globals():
+    findings = _findings('''
+        HINTS = [3, 5, 7]
+        SCRATCH = []
+
+        def helper(x):
+            SCRATCH.append(x)      # mutated, but no actor touches it
+
+        class ReaderActor(Actor):
+            def pick(self):
+                return HINTS[0]    # actor touches it, but never mutated
+    ''')
+    assert PAR_GLOBAL_MUTABLE not in _rules_fired(findings)
+
+
+# ----------------------------------------------- PAR-CROSS-SILO-CONFLICT
+
+
+def test_cross_silo_conflict_fires_on_alias_to_other_type():
+    findings = _findings('''
+        class FanoutActor(Actor):
+            def __init__(self):
+                self.members = []
+
+            def grow(self, who):
+                self.members.append(who)
+
+            def broadcast(self):
+                yield Call(ActorRef("peer", 0), "sync", self.members)
+    ''')
+    assert PAR_CROSS_SILO_CONFLICT in _rules_fired(findings)
+
+
+def test_cross_silo_conflict_silent_on_same_type_alias():
+    # The partitioner never splits one actor type across silos, so the
+    # alias stays inside one address space.
+    findings = _findings('''
+        class SpillActor(Actor):
+            def __init__(self):
+                self.overflow = []
+
+            def absorb(self, item):
+                self.overflow.append(item)
+
+            def rebalance(self):
+                yield Tell(ActorRef("spill", 1), "absorb", self.overflow)
+
+
+        def wire(runtime):
+            runtime.register_actor("spill", SpillActor)
+    ''')
+    assert PAR_CROSS_SILO_CONFLICT not in _rules_fired(findings)
+
+
+def test_cross_silo_conflict_silent_on_immutable_snapshot():
+    findings = _findings('''
+        class FanoutActor(Actor):
+            def __init__(self):
+                self.members = []
+
+            def grow(self, who):
+                self.members.append(who)
+
+            def broadcast(self):
+                yield Call(ActorRef("peer", 0), "sync",
+                           tuple(self.members))
+    ''')
+    assert PAR_CROSS_SILO_CONFLICT not in _rules_fired(findings)
+
+
+# ---------------------------------------------- PAR-NONMERGEABLE-METRIC
+
+
+def test_nonmergeable_metric_fires_on_observe_without_merge():
+    findings = _findings('''
+        class Histogram:
+            def observe(self, value):
+                pass
+
+        def collect():
+            return Histogram()
+    ''')
+    assert _rules_fired(findings) == {PAR_NONMERGEABLE_METRIC}
+
+
+def test_nonmergeable_metric_silent_with_merge_or_unused():
+    findings = _findings('''
+        class Mergeable:
+            def record(self, value):
+                pass
+
+            def merge(self, other):
+                pass
+
+        class NeverBuilt:
+            def observe(self, value):
+                pass
+
+        def collect():
+            return Mergeable()
+    ''')
+    assert PAR_NONMERGEABLE_METRIC not in _rules_fired(findings)
+
+
+def test_nonmergeable_metric_exempts_actors_and_analysis_tooling():
+    # Actor state lives on exactly one silo (no barrier fold), and the
+    # analysis package's own recorders never run inside a silo.
+    findings = _findings('''
+        class ProbeActor(Actor):
+            def observe(self, value):
+                pass
+
+        def collect(runtime):
+            return ProbeActor()
+    ''')
+    assert PAR_NONMERGEABLE_METRIC not in _rules_fired(findings)
+    findings = _findings('''
+        class Probe:
+            def observe(self, value):
+                pass
+
+        def collect():
+            return Probe()
+    ''', path="analysis/probe.py")
+    assert PAR_NONMERGEABLE_METRIC not in _rules_fired(findings)
+
+
+# ------------------------------------------- PAR-UNPORTABLE-SILO-STATE
+
+
+def test_unportable_state_fires_on_closure_and_handle_fields():
+    findings = _findings('''
+        class ReplayActor(Actor):
+            def arm(self):
+                self.transform = lambda turn: turn + 1
+
+        class LogActor(Actor):
+            def start(self):
+                self.sink = open("out.log", "w")
+    ''')
+    fired = [f for f in findings if f.rule == PAR_UNPORTABLE_SILO_STATE]
+    assert len(fired) == 2
+
+
+def test_unportable_state_silent_on_ephemeral_and_picklable_fields():
+    findings = _findings('''
+        class CleanActor(Actor):
+            def __init__(self):
+                self.history = []
+                self._decoder = lambda turn: turn
+
+            def store(self, payload):
+                self.latest = payload
+    ''')
+    assert PAR_UNPORTABLE_SILO_STATE not in _rules_fired(findings)
+
+
+# ------------------------------------------------ fixture + integration
+
+
+def test_fixture_fires_exactly_the_five_par_rules():
+    with open(os.path.join(REPO, FIXTURE), "r", encoding="utf-8") as fh:
+        source = fh.read()
+    _index, _graph, findings = analyze_par([(FIXTURE, source)])
+    fired = [f.rule for f in findings]
+    assert sorted(fired) == sorted(r.name for r in all_par_rules())
+    assert len(fired) == 5               # one finding per rule, no extras
+
+
+def test_repo_tree_is_par_clean():
+    report = lint_paths(base=REPO, par=True)
+    par = [f for f in report.active if f.rule.startswith("PAR-")]
+    assert par == []
+    assert report.par_report is not None
+    assert report.par_report["window"] > 0
+
+
+def test_waiver_suppresses_par_finding(tmp_path):
+    src = PRELUDE + textwrap.dedent('''
+        def boot():
+            # repro: waive[PAR-ZERO-LOOKAHEAD] -- single-silo demo rig
+            return ClusterConfig(num_servers=1, network_latency=0.0)
+    ''')
+    mod = tmp_path / "mod.py"
+    mod.write_text(src)
+    report = lint_paths([str(mod)], base=str(tmp_path), par=True)
+    assert report.ok
+    waived = [f for f in report.waived if f.rule == PAR_ZERO_LOOKAHEAD]
+    assert len(waived) == 1
+    assert waived[0].justification == "single-silo demo rig"
+
+
+def test_unwaived_par_finding_fails_the_report(tmp_path):
+    src = PRELUDE + textwrap.dedent('''
+        def boot():
+            return ClusterConfig(num_servers=1, network_latency=0.0)
+    ''')
+    mod = tmp_path / "mod.py"
+    mod.write_text(src)
+    report = lint_paths([str(mod)], base=str(tmp_path), par=True)
+    assert not report.ok
+    assert PAR_ZERO_LOOKAHEAD in {f.rule for f in report.active}
